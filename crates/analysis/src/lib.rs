@@ -1,0 +1,17 @@
+//! Analysis utilities for the K-LEB reproduction: summary statistics,
+//! derived metrics (MPKI, GFLOPS, overhead), phase detection on sample time
+//! series, and text rendering of the paper's tables and figures.
+
+pub mod detector;
+pub mod metrics;
+pub mod phases;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use detector::{Detection, EwmaDetector};
+pub use metrics::{gflops, mpki, performance_loss_percent, IntensityClass};
+pub use phases::{detect_phases, Phase, PhaseKind};
+pub use stats::{five_number, mean, percentile, stddev, FiveNumber};
+pub use table::TextTable;
+pub use timeseries::{downsample, moving_average, sparkline};

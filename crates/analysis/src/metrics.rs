@@ -1,0 +1,106 @@
+//! Derived metrics the paper reports: MPKI, GFLOPS, performance loss.
+
+/// LLC misses per kilo-instruction.
+///
+/// Returns `0.0` when no instructions retired.
+pub fn mpki(llc_misses: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        return 0.0;
+    }
+    llc_misses as f64 / (instructions as f64 / 1000.0)
+}
+
+/// Workload classification after Muralidhara et al. (paper §IV-B): MPKI
+/// above 10 is memory-intensive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntensityClass {
+    /// MPKI ≤ 10.
+    ComputationIntensive,
+    /// MPKI > 10.
+    MemoryIntensive,
+}
+
+impl IntensityClass {
+    /// Classifies an MPKI value.
+    pub fn from_mpki(mpki: f64) -> Self {
+        if mpki > 10.0 {
+            IntensityClass::MemoryIntensive
+        } else {
+            IntensityClass::ComputationIntensive
+        }
+    }
+
+    /// Short label as used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntensityClass::ComputationIntensive => "computation-intensive",
+            IntensityClass::MemoryIntensive => "memory-intensive",
+        }
+    }
+}
+
+impl std::fmt::Display for IntensityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Billions of floating-point operations per second.
+///
+/// Returns `0.0` for a zero-length duration.
+pub fn gflops(flops: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    flops as f64 / seconds / 1e9
+}
+
+/// Performance loss relative to an unprofiled baseline, in percent
+/// (Table I's metric: how much GFLOPS dropped; also works on runtimes
+/// inverted by the caller).
+pub fn performance_loss_percent(baseline: f64, measured: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    (baseline - measured) / baseline * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_math() {
+        assert_eq!(mpki(1000, 100_000), 10.0);
+        assert_eq!(mpki(5, 1000), 5.0);
+        assert_eq!(mpki(10, 0), 0.0);
+    }
+
+    #[test]
+    fn classification_boundary() {
+        assert_eq!(
+            IntensityClass::from_mpki(10.0),
+            IntensityClass::ComputationIntensive
+        );
+        assert_eq!(
+            IntensityClass::from_mpki(10.01),
+            IntensityClass::MemoryIntensive
+        );
+        assert_eq!(
+            IntensityClass::from_mpki(0.3).label(),
+            "computation-intensive"
+        );
+    }
+
+    #[test]
+    fn gflops_math() {
+        assert!((gflops(37_240_000_000, 1.0) - 37.24).abs() < 1e-9);
+        assert_eq!(gflops(1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn loss_math() {
+        assert!((performance_loss_percent(37.24, 37.00) - 0.644).abs() < 0.01);
+        assert_eq!(performance_loss_percent(0.0, 1.0), 0.0);
+    }
+}

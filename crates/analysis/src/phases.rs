@@ -1,0 +1,184 @@
+//! Phase detection on performance-counter time series.
+//!
+//! Fig. 4's claim is that K-LEB's time series makes LINPACK's program
+//! phases *visible*: a quiet start, a LOAD/STORE-heavy setup, then
+//! alternating compute (multiply-dominated) and memory phases. This module
+//! classifies each sample by its dominant event and merges runs into
+//! phases, which the Fig. 4 harness and tests use to check the structure
+//! rather than eyeballing a plot.
+
+/// What dominates a stretch of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// All tracked events near zero.
+    Quiet,
+    /// The event at this index (into the series list) dominates.
+    Dominant(usize),
+    /// No single event dominates.
+    Mixed,
+}
+
+/// A detected phase: a maximal run of samples with one classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// Classification of the run.
+    pub kind: PhaseKind,
+    /// First sample index.
+    pub start: usize,
+    /// One past the last sample index.
+    pub end: usize,
+}
+
+impl Phase {
+    /// Number of samples in the phase.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the phase is empty (never produced by the detector).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Classifies each sample of several aligned series and merges consecutive
+/// equal classifications into phases.
+///
+/// `series` holds one slice per event, all the same length. A sample is
+/// `Quiet` if every value is below `quiet_threshold`; it is `Dominant(i)`
+/// if series `i`'s value exceeds `dominance` × every other series' value;
+/// otherwise `Mixed`. Runs shorter than `min_len` are merged into their
+/// predecessor to suppress jitter.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or lengths differ.
+pub fn detect_phases(
+    series: &[&[u64]],
+    quiet_threshold: u64,
+    dominance: f64,
+    min_len: usize,
+) -> Vec<Phase> {
+    assert!(!series.is_empty(), "need at least one series");
+    let len = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == len),
+        "all series must be aligned"
+    );
+    if len == 0 {
+        return Vec::new();
+    }
+    let classify = |idx: usize| -> PhaseKind {
+        let values: Vec<u64> = series.iter().map(|s| s[idx]).collect();
+        if values.iter().all(|&v| v < quiet_threshold) {
+            return PhaseKind::Quiet;
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let others_max = values
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &o)| o)
+                .max()
+                .unwrap_or(0);
+            if v as f64 > dominance * others_max.max(1) as f64 {
+                return PhaseKind::Dominant(i);
+            }
+        }
+        PhaseKind::Mixed
+    };
+
+    let mut phases: Vec<Phase> = Vec::new();
+    for idx in 0..len {
+        let kind = classify(idx);
+        match phases.last_mut() {
+            Some(last) if last.kind == kind => last.end = idx + 1,
+            _ => phases.push(Phase {
+                kind,
+                start: idx,
+                end: idx + 1,
+            }),
+        }
+    }
+    // Merge jitter-runs into their predecessor.
+    let mut merged: Vec<Phase> = Vec::new();
+    for phase in phases {
+        match merged.last_mut() {
+            Some(last) if phase.len() < min_len => last.end = phase.end,
+            Some(last) if last.kind == phase.kind => last.end = phase.end,
+            _ => merged.push(phase),
+        }
+    }
+    merged
+}
+
+/// Counts how many times the dominant event alternates across phases
+/// (ignoring quiet/mixed stretches) — Fig. 4's "pattern repeats" check.
+pub fn dominance_alternations(phases: &[Phase]) -> usize {
+    let doms: Vec<usize> = phases
+        .iter()
+        .filter_map(|p| match p.kind {
+            PhaseKind::Dominant(i) => Some(i),
+            _ => None,
+        })
+        .collect();
+    doms.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_quiet_then_dominant() {
+        let a = [0u64, 0, 0, 100, 100, 100];
+        let b = [0u64, 0, 0, 5, 5, 5];
+        let phases = detect_phases(&[&a, &b], 3, 3.0, 1);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].kind, PhaseKind::Quiet);
+        assert_eq!(phases[0].len(), 3);
+        assert_eq!(phases[1].kind, PhaseKind::Dominant(0));
+    }
+
+    #[test]
+    fn detects_alternation() {
+        let a = [100u64, 100, 2, 2, 100, 100];
+        let b = [2u64, 2, 100, 100, 2, 2];
+        let phases = detect_phases(&[&a, &b], 1, 3.0, 1);
+        // Dominance sequence is [a, b, a]: two changes.
+        assert_eq!(dominance_alternations(&phases), 2);
+    }
+
+    #[test]
+    fn mixed_when_balanced() {
+        let a = [50u64, 50];
+        let b = [45u64, 45];
+        let phases = detect_phases(&[&a, &b], 1, 3.0, 1);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].kind, PhaseKind::Mixed);
+    }
+
+    #[test]
+    fn min_len_suppresses_jitter() {
+        // One-sample blip of b-dominance inside an a-dominated run.
+        let a = [100u64, 100, 1, 100, 100];
+        let b = [2u64, 2, 100, 2, 2];
+        let phases = detect_phases(&[&a, &b], 1, 3.0, 2);
+        assert_eq!(phases.len(), 1, "blip merged: {phases:?}");
+        assert_eq!(phases[0].kind, PhaseKind::Dominant(0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let a: [u64; 0] = [];
+        assert!(detect_phases(&[&a], 1, 3.0, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_series_panics() {
+        let a = [1u64, 2];
+        let b = [1u64];
+        detect_phases(&[&a, &b], 1, 3.0, 1);
+    }
+}

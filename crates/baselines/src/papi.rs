@@ -1,0 +1,386 @@
+//! PAPI-style source instrumentation (paper §II-B, §V).
+//!
+//! PAPI requires the monitored program's *source*: the developer links the
+//! library and places `PAPI_read` calls at strategic points. Every read is a
+//! system call into the perf_events backend — the "expensive system calls"
+//! the paper blames for PAPI's 6.43 % (Table II) and 21.40 % (Table III)
+//! overhead, the latter because PAPI's heavyweight library initialization
+//! stops amortizing on a 100 ms program.
+//!
+//! [`PapiInstrumented`] wraps any workload the way a developer would
+//! instrument source: library init at startup, `PAPI_start` (an open), a
+//! read every `read_every` work blocks, and a final read at exit.
+
+use std::sync::{Arc, Mutex};
+
+use pmu::HwEvent;
+
+use ksim::{
+    CoreId, DeviceId, Duration, ItemResult, Machine, Syscall, WorkBlock, WorkItem, Workload,
+};
+
+use crate::common::{ToolRun, ToolSample};
+use crate::perf_kernel::{PerfCounts, PerfEventKernel, PerfKernelCosts, PERF_OPEN, PERF_READ};
+use crate::ToolError;
+
+/// PAPI cost profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PapiCosts {
+    /// Library initialization at program start (component discovery,
+    /// sysfs parsing). Dominates short runs — Table III's 21.4 %.
+    pub init_cycles: u64,
+    /// User-side cycles per `PAPI_read` (argument marshalling, value
+    /// bookkeeping) on top of the kernel read path.
+    pub read_user_cycles: u64,
+    /// Kernel costs (the perf_events backend); `read_cycles` is the big
+    /// per-read term.
+    pub kernel: PerfKernelCosts,
+}
+
+impl Default for PapiCosts {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+impl PapiCosts {
+    /// Effective costs derived from the paper's Tables II/III.
+    pub fn paper_calibrated() -> Self {
+        Self {
+            init_cycles: 42_000_000,
+            read_user_cycles: 280_000,
+            kernel: PerfKernelCosts {
+                read_cycles: 1_150_000,
+                read_pollution_lines: 700,
+                ..PerfKernelCosts::default()
+            },
+        }
+    }
+
+    /// First-principles microcost estimates.
+    pub fn microarchitectural() -> Self {
+        Self {
+            init_cycles: 2_000_000,
+            read_user_cycles: 5_000,
+            kernel: PerfKernelCosts::default(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PapiShared {
+    samples: Vec<ToolSample>,
+    final_counts: Option<PerfCounts>,
+    error: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    None,
+    OpenResult,
+    ReadResult { is_final: bool },
+}
+
+/// A workload instrumented with PAPI calls.
+#[derive(Debug)]
+pub struct PapiInstrumented {
+    inner: Box<dyn Workload>,
+    device: DeviceId,
+    events: Vec<HwEvent>,
+    read_every: u64,
+    costs: PapiCosts,
+    shared: Arc<Mutex<PapiShared>>,
+    blocks_seen: u64,
+    started: bool,
+    init_done: bool,
+    finished: bool,
+    pending: Pending,
+    stashed_inner: Option<ItemResult>,
+    last: Option<PerfCounts>,
+    queue: std::collections::VecDeque<WorkItem>,
+}
+
+impl PapiInstrumented {
+    fn new(
+        inner: Box<dyn Workload>,
+        device: DeviceId,
+        events: Vec<HwEvent>,
+        read_every: u64,
+        costs: PapiCosts,
+        shared: Arc<Mutex<PapiShared>>,
+    ) -> Self {
+        assert!(read_every > 0);
+        Self {
+            inner,
+            device,
+            events,
+            read_every,
+            costs,
+            shared,
+            blocks_seen: 0,
+            started: false,
+            init_done: false,
+            finished: false,
+            pending: Pending::None,
+            stashed_inner: None,
+            last: None,
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn open_item(&self) -> WorkItem {
+        let cfg = crate::perf_kernel::PerfOpenConfig {
+            target: 0, // self
+            events: self
+                .events
+                .iter()
+                .map(|e| {
+                    let c = e.code();
+                    (c.event, c.umask)
+                })
+                .collect(),
+            count_kernel: false,
+            track_children: true,
+        };
+        WorkItem::Syscall(Syscall::Ioctl {
+            device: self.device,
+            request: PERF_OPEN,
+            payload: serde_json::to_vec(&cfg).expect("config serializes"),
+        })
+    }
+
+    fn read_item(&self) -> WorkItem {
+        WorkItem::Syscall(Syscall::Ioctl {
+            device: self.device,
+            request: PERF_READ,
+            payload: Vec::new(),
+        })
+    }
+
+    fn record_read(&mut self, counts: PerfCounts, is_final: bool) {
+        let mut shared = self.shared.lock().unwrap();
+        let delta: Vec<u64> = match &self.last {
+            Some(last) => counts
+                .events
+                .iter()
+                .zip(&last.events)
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            None => counts.events.clone(),
+        };
+        let instr = match &self.last {
+            Some(last) => counts.fixed[0].saturating_sub(last.fixed[0]),
+            None => counts.fixed[0],
+        };
+        shared.samples.push(ToolSample {
+            timestamp_ns: 0,
+            values: delta,
+            instructions: instr,
+        });
+        if is_final {
+            shared.final_counts = Some(counts.clone());
+        }
+        drop(shared);
+        self.last = Some(counts);
+    }
+}
+
+impl Workload for PapiInstrumented {
+    fn next(&mut self, prev: &ItemResult) -> Option<WorkItem> {
+        // Route the previous item's result.
+        match self.pending {
+            Pending::OpenResult => {
+                self.pending = Pending::None;
+                if let Some(r) = prev.retval() {
+                    if r != 0 {
+                        self.shared.lock().unwrap().error = Some(format!("PAPI_start failed: {r}"));
+                        return None;
+                    }
+                }
+            }
+            Pending::ReadResult { is_final } => {
+                self.pending = Pending::None;
+                if let ItemResult::Syscall { payload, .. } = prev {
+                    if let Ok(counts) = serde_json::from_slice::<PerfCounts>(payload) {
+                        self.record_read(counts, is_final);
+                    }
+                }
+                if is_final {
+                    return None;
+                }
+            }
+            Pending::None => {
+                if self.started {
+                    self.stashed_inner = Some(prev.clone());
+                }
+            }
+        }
+        if let Some(item) = self.queue.pop_front() {
+            // Queued instrumentation (post-read user bookkeeping).
+            return Some(item);
+        }
+        if !self.init_done {
+            self.init_done = true;
+            // PAPI_library_init: pure user-mode work inside the program
+            // (mostly I/O-stall heavy sysfs parsing, few retired
+            // instructions).
+            return Some(WorkItem::Block(WorkBlock::compute(
+                self.costs.init_cycles / 10,
+                self.costs.init_cycles,
+            )));
+        }
+        if !self.started {
+            self.started = true;
+            self.pending = Pending::OpenResult;
+            return Some(self.open_item());
+        }
+        // Strategic read point?
+        if self.blocks_seen >= self.read_every {
+            self.blocks_seen = 0;
+            self.pending = Pending::ReadResult { is_final: false };
+            // Marshalling cost is stall-dominated; the instruction
+            // footprint inside the monitored window stays small.
+            self.queue.push_back(WorkItem::Block(WorkBlock::compute(
+                self.costs.read_user_cycles / 20,
+                self.costs.read_user_cycles,
+            )));
+            return Some(self.read_item());
+        }
+        // Delegate to the wrapped program.
+        let inner_prev = self.stashed_inner.take().unwrap_or_default();
+        match self.inner.next(&inner_prev) {
+            Some(item) => {
+                if matches!(item, WorkItem::Block(_)) {
+                    self.blocks_seen += 1;
+                }
+                Some(item)
+            }
+            None => {
+                if self.finished {
+                    return None;
+                }
+                self.finished = true;
+                // Final PAPI_stop/read before exit.
+                self.pending = Pending::ReadResult { is_final: true };
+                Some(self.read_item())
+            }
+        }
+    }
+}
+
+/// Runs `workload` under PAPI instrumentation, reading every `read_every`
+/// work blocks. `nominal_period` is recorded in the report (the harness
+/// chooses `read_every` to match a timer rate, per the paper's methodology
+/// of equalizing sample counts).
+///
+/// # Errors
+///
+/// [`ToolError`] if the simulation stalls or PAPI setup fails.
+pub fn run_papi(
+    machine: &mut Machine,
+    name: &str,
+    workload: Box<dyn Workload>,
+    events: &[HwEvent],
+    read_every: u64,
+    nominal_period: Duration,
+    costs: PapiCosts,
+) -> Result<ToolRun, ToolError> {
+    let device = machine.register_device(Box::new(PerfEventKernel::new(costs.kernel)));
+    let shared = Arc::new(Mutex::new(PapiShared::default()));
+    let instrumented = PapiInstrumented::new(
+        workload,
+        device,
+        events.to_vec(),
+        read_every,
+        costs,
+        shared.clone(),
+    );
+    let target = machine.spawn(name, CoreId(0), Box::new(instrumented));
+    machine.run_until_exit(target).map_err(ToolError::Sim)?;
+    let guard = shared.lock().unwrap();
+    if let Some(err) = &guard.error {
+        return Err(ToolError::Tool(err.clone()));
+    }
+    let final_counts = guard
+        .final_counts
+        .clone()
+        .ok_or_else(|| ToolError::Tool("PAPI final read missing".into()))?;
+    Ok(ToolRun {
+        tool: "PAPI",
+        target: machine.process(target).clone(),
+        event_totals: events
+            .iter()
+            .copied()
+            .zip(final_counts.events.iter().copied())
+            .collect(),
+        fixed_totals: final_counts.fixed,
+        samples: guard.samples.clone(),
+        requested_period: nominal_period,
+        effective_period: nominal_period,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::MachineConfig;
+    use workloads::Synthetic;
+
+    fn run(read_every: u64) -> ToolRun {
+        let mut machine = Machine::new(MachineConfig::test_tiny(6));
+        run_papi(
+            &mut machine,
+            "t",
+            Box::new(Synthetic::cpu_bound(Duration::from_millis(40))),
+            &[HwEvent::Load, HwEvent::BranchRetired],
+            read_every,
+            Duration::from_millis(10),
+            PapiCosts::microarchitectural(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn strategic_reads_produce_samples() {
+        let r = run(100);
+        // ~1067 blocks at 37.5µs → ≥9 read points + final.
+        assert!(r.samples.len() >= 9, "{} samples", r.samples.len());
+    }
+
+    #[test]
+    fn counts_include_instrumentation_overhead() {
+        let r = run(100);
+        let truth = r.target.true_user_events.get(HwEvent::BranchRetired);
+        let reported = r.total(HwEvent::BranchRetired).unwrap();
+        // PAPI counts its own user-mode instrumentation instructions too:
+        // the reading is close to, and at least, the truth... the truth
+        // ledger *includes* the instrumentation (it is the same process),
+        // so PAPI tracks it almost exactly.
+        let err = (reported as f64 - truth as f64).abs() / truth as f64;
+        assert!(
+            err < 0.01,
+            "error {err} (reported {reported}, truth {truth})"
+        );
+    }
+
+    #[test]
+    fn monitored_process_is_slower_than_bare() {
+        let mut m0 = Machine::new(MachineConfig::test_tiny(6));
+        let pid = m0.spawn(
+            "bare",
+            CoreId(0),
+            Box::new(Synthetic::cpu_bound(Duration::from_millis(40))),
+        );
+        let bare = m0.run_until_exit(pid).unwrap().wall_time();
+        let run = run(50);
+        assert!(run.wall_time() > bare);
+    }
+
+    #[test]
+    fn denser_instrumentation_costs_more() {
+        let sparse = run(400);
+        let dense = run(20);
+        assert!(dense.wall_time() > sparse.wall_time());
+        assert!(dense.samples.len() > sparse.samples.len());
+    }
+}

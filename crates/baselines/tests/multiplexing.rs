@@ -1,0 +1,90 @@
+//! End-to-end tests of perf's counter multiplexing through the full
+//! machine (device rotation timer, group reprogramming, scaled estimates).
+
+use baselines::{run_perf_stat, PerfStatCosts};
+use ksim::{Duration, Machine, MachineConfig};
+use pmu::HwEvent;
+use workloads::Synthetic;
+
+const EIGHT_EVENTS: [HwEvent; 8] = [
+    HwEvent::BranchRetired,
+    HwEvent::BranchMiss,
+    HwEvent::Load,
+    HwEvent::Store,
+    HwEvent::LlcReference,
+    HwEvent::LlcMiss,
+    HwEvent::L2Miss,
+    HwEvent::DtlbMiss,
+];
+
+#[test]
+fn multiplexed_session_estimates_all_eight_events() {
+    let mut m = Machine::new(MachineConfig::test_tiny(5));
+    let run = run_perf_stat(
+        &mut m,
+        "w",
+        Box::new(Synthetic::cpu_bound(Duration::from_millis(60))),
+        &EIGHT_EVENTS,
+        Duration::from_millis(10),
+        PerfStatCosts::microarchitectural(),
+        false,
+    )
+    .unwrap();
+    // Every event got an estimate despite only four counters existing.
+    assert_eq!(run.event_totals.len(), 8);
+    // On a *uniform* workload the scaled estimates are close to truth.
+    for &event in &[HwEvent::BranchRetired, HwEvent::Load, HwEvent::Store] {
+        let truth = run.target.true_user_events.get(event);
+        let est = run.total(event).unwrap();
+        let err = (est as f64 - truth as f64).abs() / truth as f64;
+        assert!(
+            err < 0.08,
+            "{event}: multiplexed estimate off by {:.1}% on a uniform workload",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn four_events_stay_exact_with_no_multiplexing() {
+    let mut m = Machine::new(MachineConfig::test_tiny(5));
+    let run = run_perf_stat(
+        &mut m,
+        "w",
+        Box::new(Synthetic::cpu_bound(Duration::from_millis(40))),
+        &EIGHT_EVENTS[..4],
+        Duration::from_millis(10),
+        PerfStatCosts::microarchitectural(),
+        false,
+    )
+    .unwrap();
+    for &event in &EIGHT_EVENTS[..4] {
+        assert_eq!(
+            run.total(event),
+            Some(run.target.true_user_events.get(event)),
+            "{event}: dedicated counters must be exact"
+        );
+    }
+}
+
+#[test]
+fn multiplexing_costs_more_than_dedicated_counters() {
+    let run_with = |n_events: usize| {
+        let mut m = Machine::new(MachineConfig::test_tiny(5));
+        run_perf_stat(
+            &mut m,
+            "w",
+            Box::new(Synthetic::cpu_bound(Duration::from_millis(60))),
+            &EIGHT_EVENTS[..n_events],
+            Duration::from_millis(10),
+            PerfStatCosts::microarchitectural(),
+            false,
+        )
+        .unwrap()
+        .wall_time()
+    };
+    assert!(
+        run_with(8) > run_with(4),
+        "rotation timers and reprogramming must show up as overhead"
+    );
+}

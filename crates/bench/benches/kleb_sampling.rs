@@ -1,0 +1,39 @@
+//! K-LEB sampling-path cost at different rates, and tool-suite comparison
+//! micro-runs (the full Tables II/III come from the experiment binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kleb::{KlebTuning, Monitor};
+use ksim::{Duration, Machine, MachineConfig};
+use pmu::HwEvent;
+use workloads::Synthetic;
+
+fn bench_kleb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kleb_sampling");
+    group.sample_size(15);
+    for period_us in [100u64, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{period_us}us")),
+            &period_us,
+            |b, &period_us| {
+                b.iter(|| {
+                    let mut m = Machine::new(MachineConfig::i7_920(1));
+                    Monitor::new(
+                        &[HwEvent::Load, HwEvent::LlcMiss],
+                        Duration::from_micros(period_us),
+                    )
+                    .tuning(KlebTuning::microarchitectural())
+                    .run(
+                        &mut m,
+                        "w",
+                        Box::new(Synthetic::cpu_bound(Duration::from_millis(20))),
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kleb);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end machine throughput: simulated work per wall second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksim::{CoreId, Duration, Machine, MachineConfig};
+use workloads::{Matmul, Synthetic};
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(20);
+
+    group.bench_function("cpu_bound_10ms", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::test_tiny(1));
+            let pid = m.spawn(
+                "w",
+                CoreId(0),
+                Box::new(Synthetic::cpu_bound(Duration::from_millis(10))),
+            );
+            m.run_until_exit(pid).unwrap()
+        });
+    });
+
+    group.bench_function("matmul_n128", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::i7_920(1));
+            let pid = m.spawn("w", CoreId(0), Box::new(Matmul::new(128, 1, 0.0)));
+            m.run_until_exit(pid).unwrap()
+        });
+    });
+
+    group.bench_function("two_processes_timeslicing_10ms", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::test_tiny(1));
+            let a = m.spawn(
+                "a",
+                CoreId(0),
+                Box::new(Synthetic::cpu_bound(Duration::from_millis(5))),
+            );
+            let _b = m.spawn(
+                "b",
+                CoreId(0),
+                Box::new(Synthetic::cpu_bound(Duration::from_millis(5))),
+            );
+            m.run_until_exit(a).unwrap();
+            m.run_to_quiescence();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenchmarks of the PMU model: the register-access paths every
+//! monitoring tool exercises per sample.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmu::{msr, EventCounts, EventSel, HwEvent, Pmu, Privilege};
+
+fn programmed_pmu() -> Pmu {
+    let mut pmu = Pmu::new();
+    for (i, e) in [
+        HwEvent::Load,
+        HwEvent::Store,
+        HwEvent::BranchRetired,
+        HwEvent::LlcMiss,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let sel = EventSel::for_event(*e).usr(true).os(true).enabled(true);
+        pmu.wrmsr(msr::perfevtsel(i), sel.bits()).unwrap();
+    }
+    pmu.wrmsr(msr::IA32_FIXED_CTR_CTRL, 0b011_0011_0011)
+        .unwrap();
+    pmu.wrmsr(msr::IA32_PERF_GLOBAL_CTRL, 0xF | (0b111 << 32))
+        .unwrap();
+    pmu
+}
+
+fn bench_pmu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmu");
+    group.bench_function("observe_batch", |b| {
+        let mut pmu = programmed_pmu();
+        let batch = EventCounts::new()
+            .with(HwEvent::InstructionsRetired, 1000)
+            .with(HwEvent::Load, 250)
+            .with(HwEvent::Store, 125)
+            .with(HwEvent::BranchRetired, 200)
+            .with(HwEvent::LlcMiss, 3);
+        b.iter(|| pmu.observe(black_box(&batch), Privilege::User));
+    });
+    group.bench_function("rdmsr_counter", |b| {
+        let pmu = programmed_pmu();
+        b.iter(|| pmu.rdmsr(black_box(msr::IA32_PMC0)).unwrap());
+    });
+    group.bench_function("rdpmc", |b| {
+        let pmu = programmed_pmu();
+        b.iter(|| pmu.rdpmc(black_box(0)).unwrap());
+    });
+    group.bench_function("snapshot_all_counters", |b| {
+        let pmu = programmed_pmu();
+        b.iter(|| black_box(pmu.snapshot()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pmu);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Ablation: kernel-buffer capacity and the starvation safety stop (§III).
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!(
+        "Ablation — kernel buffer capacity vs safety-stop pauses (100 us sampling, 20 ms drains)"
+    );
+    println!("Paper §III: when the controller starves, K-LEB pauses collection and resumes after a drain\n");
+    let rows = experiments::ablation_buffer(&scale);
+    let mut t = TextTable::new(&["Capacity (records)", "Pauses", "Samples taken", "Delivered"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.capacity.to_string(),
+            r.pauses.to_string(),
+            r.taken.to_string(),
+            r.delivered.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

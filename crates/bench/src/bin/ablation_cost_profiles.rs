@@ -1,0 +1,23 @@
+//! Ablation: tool ordering under first-principles microcosts (not paper-calibrated).
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Ablation — overhead ordering with microarchitectural cost profiles (1 ms rate)");
+    println!("Shows kernel-buffered sampling (K-LEB) beats interrupt- and syscall-driven");
+    println!("approaches at matched density even with first-principles microcosts; LiMiT's");
+    println!("raw rdpmc read is cheap per-sample but needs source access and a kernel patch\n");
+    let rows = experiments::ablation_cost_profiles(&scale);
+    let mut t = TextTable::new(&["Tool", "Mean wall (ms)", "Overhead (%)"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.tool.clone(),
+            format!("{:.2}", r.mean_wall_ms),
+            format!("{:.3}", r.overhead_pct),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,22 @@
+//! Ablation: HRTimer jitter vs sampling period (§VI).
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Ablation — timer jitter as a fraction of the sampling period");
+    println!("Paper §VI: jitter makes periods below ~100 us unreliable\n");
+    let rows = experiments::ablation_jitter(&scale);
+    let mut t = TextTable::new(&["Period", "Mean interval (us)", "Stddev (us)", "Jitter (%)"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.period.to_string(),
+            format!("{:.2}", r.mean_interval_us),
+            format!("{:.2}", r.stddev_us),
+            format!("{:.2}", r.jitter_pct),
+        ]);
+    }
+    println!("{t}");
+}

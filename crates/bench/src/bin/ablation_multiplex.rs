@@ -1,0 +1,22 @@
+//! Ablation: perf counter multiplexing accuracy on a phased workload (§II-B, §VI).
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Ablation — perf multiplexing: 8 events on 4 counters over a two-phase workload");
+    println!("Paper §VI: time-multiplexed estimates 'may not be suitable for measurement systems that require precision'\n");
+    let rows = experiments::ablation_multiplex(&scale);
+    let mut t = TextTable::new(&["Event", "Truth", "Mux estimate", "Error (%)"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.event.mnemonic().into(),
+            r.truth.to_string(),
+            r.estimate.to_string(),
+            format!("{:.2}", r.error_pct),
+        ]);
+    }
+    println!("{t}");
+}

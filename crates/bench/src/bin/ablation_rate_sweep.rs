@@ -1,0 +1,33 @@
+//! Ablation: overhead vs sampling period (§V/§VI); perf floors at 10 ms.
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Ablation — overhead vs sampling period (200 ms CPU-bound workload)");
+    println!("Paper: K-LEB reaches 100 us; perf cannot go below 10 ms; overhead grows with rate\n");
+    let rows = experiments::ablation_rate_sweep(&scale);
+    let mut t = TextTable::new(&[
+        "Period",
+        "Tool",
+        "Overhead (%)",
+        "Samples",
+        "Period honoured",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.period.to_string(),
+            r.tool.clone(),
+            format!("{:.2}", r.overhead_pct),
+            r.samples.to_string(),
+            if r.honoured {
+                "yes".into()
+            } else {
+                "no (10 ms floor)".into()
+            },
+        ]);
+    }
+    println!("{t}");
+}

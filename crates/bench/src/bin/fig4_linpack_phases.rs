@@ -1,0 +1,23 @@
+//! Regenerates Fig. 4: LINPACK phase behaviour in K-LEB samples.
+
+use analysis::{downsample, sparkline};
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Fig. 4 — LINPACK behaviour in hardware performance counter samples (10 ms)");
+    println!("Paper: quiet init, LOAD/STORE-heavy setup, then repeating load→compute(ARITH_MUL)→store phases\n");
+    let result = experiments::fig4_linpack_phases(&scale);
+    for (i, event) in experiments::EVENTS_LINPACK.iter().enumerate() {
+        let d = downsample(&result.series[i], 100);
+        println!("{:>10}  {}", event.mnemonic(), sparkline(&d));
+    }
+    println!("\nsamples: {}", result.series[0].len());
+    println!("quiet init prefix: {} samples", result.quiet_prefix);
+    println!("detected phases: {}", result.phases.len());
+    println!(
+        "dominance alternations (load/compute/store sweeps): {}",
+        result.alternations
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 5: LLC MPKI for workloads running on Docker.
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!(
+        "Fig. 5 — LLC misses per kilo-instruction for Docker workloads (K-LEB, fork-following)"
+    );
+    println!("Paper: interpreters < 1 MPKI; mysql/traefik/ghost < 10; apache/nginx/tomcat > 10\n");
+    let rows = experiments::fig5_docker_mpki(&scale);
+    let mut t = TextTable::new(&["Image", "MPKI", "Bar", "Class"]);
+    for r in &rows {
+        let bar = "#".repeat((r.mpki.min(40.0)) as usize + 1);
+        t.row_owned(vec![
+            r.image.to_string(),
+            format!("{:.2}", r.mpki),
+            bar,
+            r.class.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,43 @@
+//! Regenerates Fig. 6: Meltdown vs non-Meltdown average LLC counts.
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!(
+        "Fig. 6 — Meltdown comparison, averaged over {} rounds (K-LEB @ 100 us)",
+        scale.meltdown_rounds
+    );
+    println!("Paper: attack has far higher LLC references/misses; MPKI 7.52 -> 27.53\n");
+    let r = experiments::fig6_meltdown_avg(&scale);
+    let mut t = TextTable::new(&[
+        "Program",
+        "LLC refs (avg)",
+        "LLC misses (avg)",
+        "MPKI",
+        "Samples (avg)",
+    ]);
+    t.row_owned(vec![
+        "without Meltdown".into(),
+        format!("{:.0}", r.victim_refs),
+        format!("{:.0}", r.victim_misses),
+        format!("{:.2}", r.victim_mpki),
+        format!("{:.1}", r.victim_samples),
+    ]);
+    t.row_owned(vec![
+        "with Meltdown".into(),
+        format!("{:.0}", r.attack_refs),
+        format!("{:.0}", r.attack_misses),
+        format!("{:.2}", r.attack_mpki),
+        format!("{:.1}", r.attack_samples),
+    ]);
+    println!("{t}");
+    println!(
+        "ratio: refs x{:.1}, misses x{:.1}, MPKI x{:.1}",
+        r.attack_refs / r.victim_refs.max(1.0),
+        r.attack_misses / r.victim_misses.max(1.0),
+        r.attack_mpki / r.victim_mpki.max(1e-9)
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 7: Meltdown vs non-Meltdown time series via K-LEB.
+
+use analysis::{downsample, sparkline};
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Fig. 7 — Meltdown vs Non-Meltdown via K-LEB (100 us samples)");
+    println!("Paper: the attack runs longer, with abnormally high LLC miss/ref ratio at the point of attack;\nperf at 10 ms would see at most one sample for the benign run\n");
+    let r = experiments::fig7_meltdown_series(&scale);
+    let misses = |v: &[(u64, u64)]| -> Vec<u64> { v.iter().map(|&(_, m)| m).collect() };
+    println!(
+        "benign  LLC_MISS  {}",
+        sparkline(&downsample(&misses(&r.victim), 90))
+    );
+    println!(
+        "attack  LLC_MISS  {}",
+        sparkline(&downsample(&misses(&r.attack), 90))
+    );
+    println!(
+        "\nbenign: {} samples over {}",
+        r.victim.len(),
+        r.victim_wall
+    );
+    println!("attack: {} samples over {}", r.attack.len(), r.attack_wall);
+    println!(
+        "perf (10 ms floor) would capture {} sample(s) of the benign run",
+        r.perf_equivalent_samples
+    );
+}

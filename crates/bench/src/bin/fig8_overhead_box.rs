@@ -1,0 +1,29 @@
+//! Regenerates Fig. 8: box-whisker of normalized execution times per tool.
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!(
+        "Fig. 8 — normalized execution time spread per collection tool ({} trials)",
+        scale.overhead_trials
+    );
+    println!("Paper: K-LEB has the smallest spread (least interference, most consistent)\n");
+    let rows = experiments::table2_overhead_matmul(&scale);
+    let boxes = experiments::fig8_overhead_box(&rows);
+    let mut t = TextTable::new(&["Tool", "min", "q1", "median", "q3", "max", "IQR"]);
+    for (tool, f) in &boxes {
+        t.row_owned(vec![
+            tool.clone(),
+            format!("{:.4}", f.min),
+            format!("{:.4}", f.q1),
+            format!("{:.4}", f.median),
+            format!("{:.4}", f.q3),
+            format!("{:.4}", f.max),
+            format!("{:.4}", f.iqr()),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 9: % difference in event counts vs other tools.
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Fig. 9 — % difference in hardware event counts, K-LEB vs other tools (matmul)");
+    println!("Paper: <0.0008% vs perf stat on deterministic events; <0.15% vs perf record; <0.3% overall\n");
+    let rows = experiments::fig9_accuracy(&scale);
+    let mut t = TextTable::new(&["Tool", "Event", "vs K-LEB (%)", "vs truth (%)"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.tool.clone(),
+            r.event.mnemonic().into(),
+            format!("{:.4}", r.diff_vs_kleb_pct),
+            format!("{:.4}", r.diff_vs_truth_pct),
+        ]);
+    }
+    println!("{t}");
+}

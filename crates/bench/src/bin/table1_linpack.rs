@@ -1,0 +1,24 @@
+//! Regenerates Table I: LINPACK GFLOPS across profiling tools.
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!(
+        "Table I — LINPACK GFLOPS across profiling tools (n = {}, {} trials, 10 ms rate)",
+        scale.linpack_n, scale.linpack_trials
+    );
+    println!("Paper: No profiling 37.24 | K-LEB 37.00 (-0.64%) | perf stat 34.78 (-7.08%) | perf record 36.89 (-0.96%)\n");
+    let rows = experiments::table1_linpack(&scale);
+    let mut t = TextTable::new(&["Profiling tool", "GFLOPS", "Performance loss (%)"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.tool.clone(),
+            format!("{:.2}", r.gflops),
+            format!("{:.2}", r.loss_pct),
+        ]);
+    }
+    println!("{t}");
+}

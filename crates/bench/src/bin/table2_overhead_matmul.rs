@@ -1,0 +1,24 @@
+//! Regenerates Table II: overhead on triple-nested-loop matmul.
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!(
+        "Table II — % overhead, triple-nested-loop matrix multiplication ({} trials, 10 ms rate)",
+        scale.overhead_trials
+    );
+    println!("Paper: K-LEB 0.68 | perf stat 6.01 | perf record ~1.65 | PAPI 6.43 | LiMiT 4.08\n");
+    let rows = experiments::table2_overhead_matmul(&scale);
+    let mut t = TextTable::new(&["Tool", "Mean wall (ms)", "Overhead (%)"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.tool.clone(),
+            format!("{:.2}", r.mean_wall_ms),
+            format!("{:.2}", r.overhead_pct),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table III: overhead on Intel-MKL-style dgemm.
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!(
+        "Table III — % overhead, MKL dgemm (short run; {} trials, 10 ms rate)",
+        scale.overhead_trials
+    );
+    println!("Paper: K-LEB 1.13 | perf stat 7.64 | perf record 2.00 | PAPI 21.40 | LiMiT n/a (unsupported kernel)\n");
+    let rows = experiments::table3_overhead_dgemm(&scale);
+    let mut t = TextTable::new(&["Tool", "Mean wall (ms)", "Overhead (%)"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.tool.clone(),
+            format!("{:.2}", r.mean_wall_ms),
+            format!("{:.2}", r.overhead_pct),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,32 @@
+//! §IV cross-processor verification: i7-920 vs AWS Xeon Platinum 8259CL.
+
+use analysis::TextTable;
+use kleb_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("AWS verification — K-LEB on i7-920 vs Xeon Platinum 8259CL");
+    println!(
+        "Paper §IV: <1% difference in counts; Docker MPKI trend consistent across processors\n"
+    );
+    let r = experiments::aws_verification(&scale);
+    let mut t = TextTable::new(&["Event", "Count difference (%)"]);
+    for (e, d) in &r.count_diff_pct {
+        t.row_owned(vec![e.mnemonic().into(), format!("{d:.4}")]);
+    }
+    println!("{t}");
+    let mut t = TextTable::new(&["Image", "MPKI (i7-920)", "MPKI (Xeon 8259CL)"]);
+    for (image, local, aws) in &r.docker_mpki {
+        t.row_owned(vec![
+            image.to_string(),
+            format!("{local:.2}"),
+            format!("{aws:.2}"),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "MPKI low→high ordering consistent across processors: {}",
+        if r.mpki_order_consistent { "yes" } else { "NO" }
+    );
+}

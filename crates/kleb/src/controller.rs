@@ -1,0 +1,291 @@
+//! The user-space controller process.
+//!
+//! The controller (paper Fig. 1, "Controller Process") configures the kernel
+//! module, starts monitoring, wakes the target, then loops: sleep → `read()`
+//! the kernel buffer → decode and log the records in user space. Logging
+//! lives here because "kernel developers highly recommend against directly
+//! accessing files in kernel space" (§III) — the module only buffers.
+//!
+//! The controller is itself a simulated process: its drains are real
+//! syscalls with real costs, and its logging is user-mode compute — on its
+//! own core, which is precisely why K-LEB's overhead on the monitored core
+//! stays low.
+
+use std::sync::{Arc, Mutex};
+
+use ksim::{DeviceId, Duration, ItemResult, Pid, Syscall, WorkBlock, WorkItem, Workload};
+
+use crate::config::{
+    ModuleStatus, MonitorConfig, IOCTL_CONFIG, IOCTL_START, IOCTL_STATUS, IOCTL_STOP,
+};
+use crate::sample::{Sample, RECORD_BYTES};
+
+/// Shared result channel between the controller process and the host code
+/// that spawned it.
+#[derive(Debug, Default)]
+pub struct ControllerReport {
+    /// All decoded samples, in time order.
+    pub samples: Vec<Sample>,
+    /// The final module status after STOP.
+    pub final_status: Option<ModuleStatus>,
+    /// Fatal setup error (failed ioctl), if any.
+    pub error: Option<String>,
+    /// Number of `read()` drains performed.
+    pub drains: u64,
+}
+
+/// Handle to a [`ControllerReport`] shared with a running controller.
+pub type SharedReport = Arc<Mutex<ControllerReport>>;
+
+/// Creates an empty shared report.
+pub fn shared_report() -> SharedReport {
+    Arc::new(Mutex::new(ControllerReport::default()))
+}
+
+/// Per-record user-space logging cost (format + write to the log file,
+/// amortized): instructions and cycles charged as a compute block on the
+/// controller's core after each drain.
+const LOG_INSTRUCTIONS_PER_RECORD: u64 = 120;
+const LOG_CYCLES_PER_RECORD: u64 = 220;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Config,
+    Start,
+    Resume,
+    Sleep,
+    Drain,
+    Log { drained: usize },
+    Status,
+    Stop,
+    FinalDrain,
+    FinalStatus,
+    Done,
+}
+
+/// The controller workload.
+///
+/// Drive it with [`ksim::Machine::spawn`] on a different core than the
+/// target; read results from the [`SharedReport`] after it exits.
+#[derive(Debug)]
+pub struct Controller {
+    device: DeviceId,
+    cfg: MonitorConfig,
+    target: Pid,
+    resume_target: bool,
+    drain_interval: Duration,
+    report: SharedReport,
+    phase: Phase,
+}
+
+impl Controller {
+    /// A controller that will configure `device` to monitor `target` per
+    /// `cfg`, wake the (suspended) target once monitoring is live, and drain
+    /// every `drain_interval`.
+    pub fn new(
+        device: DeviceId,
+        cfg: MonitorConfig,
+        target: Pid,
+        drain_interval: Duration,
+        report: SharedReport,
+    ) -> Self {
+        Self {
+            device,
+            cfg,
+            target,
+            resume_target: true,
+            drain_interval,
+            report,
+            phase: Phase::Config,
+        }
+    }
+
+    /// Disables the wake-up step (for targets that are already running,
+    /// i.e. attaching to a live process as §III describes).
+    pub fn attach_running(mut self) -> Self {
+        self.resume_target = false;
+        self
+    }
+
+    /// A sensible drain interval for a sampling period: every ~64 periods,
+    /// clamped to [1 ms, 50 ms] — frequent enough that an 8192-record buffer
+    /// never starves at 100 µs sampling.
+    pub fn default_drain_interval(period: Duration) -> Duration {
+        let raw = period * 64;
+        let min = Duration::from_millis(1);
+        let max = Duration::from_millis(50);
+        if raw < min {
+            min
+        } else if raw > max {
+            max
+        } else {
+            raw
+        }
+    }
+
+    fn fail(&mut self, what: &str, retval: i64) -> Option<WorkItem> {
+        self.report.lock().unwrap().error = Some(format!("{what} failed: {retval}"));
+        self.phase = Phase::Done;
+        None
+    }
+
+    fn ioctl(&self, request: u64, payload: Vec<u8>) -> WorkItem {
+        WorkItem::Syscall(Syscall::Ioctl {
+            device: self.device,
+            request,
+            payload,
+        })
+    }
+
+    fn read(&self) -> WorkItem {
+        WorkItem::Syscall(Syscall::Read {
+            device: self.device,
+            max_bytes: 1 << 20,
+        })
+    }
+}
+
+impl Workload for Controller {
+    fn next(&mut self, prev: &ItemResult) -> Option<WorkItem> {
+        loop {
+            match self.phase {
+                Phase::Config => {
+                    self.phase = Phase::Start;
+                    return Some(self.ioctl(IOCTL_CONFIG, self.cfg.to_payload()));
+                }
+                Phase::Start => {
+                    match prev.retval() {
+                        Some(0) => {}
+                        Some(r) => return self.fail("KLEB_CONFIG", r),
+                        None => {}
+                    }
+                    self.phase = if self.resume_target {
+                        Phase::Resume
+                    } else {
+                        Phase::Sleep
+                    };
+                    return Some(self.ioctl(IOCTL_START, Vec::new()));
+                }
+                Phase::Resume => {
+                    match prev.retval() {
+                        Some(0) => {}
+                        Some(r) => return self.fail("KLEB_START", r),
+                        None => {}
+                    }
+                    self.phase = Phase::Sleep;
+                    return Some(WorkItem::Syscall(Syscall::Resume(self.target)));
+                }
+                Phase::Sleep => {
+                    self.phase = Phase::Drain;
+                    return Some(WorkItem::Sleep(self.drain_interval));
+                }
+                Phase::Drain => {
+                    self.phase = Phase::Log { drained: 0 };
+                    return Some(self.read());
+                }
+                Phase::Log { .. } => {
+                    let drained = if let ItemResult::Syscall { payload, .. } = prev {
+                        let samples = Sample::decode_all(payload);
+                        let n = samples.len();
+                        let mut report = self.report.lock().unwrap();
+                        report.samples.extend(samples);
+                        report.drains += 1;
+                        n
+                    } else {
+                        0
+                    };
+                    self.phase = Phase::Status;
+                    if drained > 0 {
+                        // User-space logging work for the drained records.
+                        let n = drained as u64;
+                        return Some(WorkItem::Block(WorkBlock::compute(
+                            n * LOG_INSTRUCTIONS_PER_RECORD,
+                            n * LOG_CYCLES_PER_RECORD,
+                        )));
+                    }
+                    // Nothing drained: fall through to Status immediately.
+                }
+                Phase::Status => {
+                    self.phase = Phase::Stop; // provisional; Stop inspects
+                    return Some(self.ioctl(IOCTL_STATUS, Vec::new()));
+                }
+                Phase::Stop => {
+                    let status = match prev {
+                        ItemResult::Syscall { payload, .. } => ModuleStatus::from_payload(payload),
+                        _ => None,
+                    };
+                    match status {
+                        Some(s) if s.target_alive => {
+                            self.phase = Phase::Sleep; // keep monitoring
+                        }
+                        Some(_) => {
+                            self.phase = Phase::FinalDrain;
+                            return Some(self.ioctl(IOCTL_STOP, Vec::new()));
+                        }
+                        None => return self.fail("KLEB_STATUS", -1),
+                    }
+                }
+                Phase::FinalDrain => {
+                    self.phase = Phase::FinalStatus;
+                    return Some(self.read());
+                }
+                Phase::FinalStatus => {
+                    if let ItemResult::Syscall { payload, retval } = prev {
+                        if *retval > 0 {
+                            let samples = Sample::decode_all(payload);
+                            let mut report = self.report.lock().unwrap();
+                            report.samples.extend(samples);
+                            report.drains += 1;
+                            // Buffer may still hold more records than one
+                            // read returned; drain again.
+                            if *retval as usize >= RECORD_BYTES {
+                                self.phase = Phase::FinalDrain;
+                                continue;
+                            }
+                        }
+                    }
+                    self.phase = Phase::Done;
+                    return Some(self.ioctl(IOCTL_STATUS, Vec::new()));
+                }
+                Phase::Done => {
+                    if let ItemResult::Syscall { payload, .. } = prev {
+                        if let Some(s) = ModuleStatus::from_payload(payload) {
+                            self.report.lock().unwrap().final_status = Some(s);
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_interval_clamps() {
+        assert_eq!(
+            Controller::default_drain_interval(Duration::from_micros(1)),
+            Duration::from_millis(1)
+        );
+        assert_eq!(
+            Controller::default_drain_interval(Duration::from_millis(10)),
+            Duration::from_millis(50)
+        );
+        assert_eq!(
+            Controller::default_drain_interval(Duration::from_micros(100)),
+            Duration::from_micros(6400)
+        );
+    }
+
+    #[test]
+    fn shared_report_starts_empty() {
+        let r = shared_report();
+        let g = r.lock().unwrap();
+        assert!(g.samples.is_empty());
+        assert!(g.final_status.is_none());
+        assert!(g.error.is_none());
+    }
+}

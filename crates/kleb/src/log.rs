@@ -1,0 +1,212 @@
+//! The controller's log-file format.
+//!
+//! The real K-LEB controller logs drained samples to the file system in
+//! user space (§III: "hardware event counts are logged to the file system
+//! by the controller process"); downstream analysis consumes that file.
+//! This module renders and parses that CSV format so analysis pipelines
+//! can round-trip sample series.
+
+use pmu::HwEvent;
+
+use crate::sample::Sample;
+
+/// Errors from parsing a K-LEB log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogParseError {
+    /// The header row is missing or malformed.
+    BadHeader,
+    /// A data row had the wrong number of columns.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as a number.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column index.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for LogParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogParseError::BadHeader => f.write_str("missing or malformed header row"),
+            LogParseError::BadArity { line } => write!(f, "wrong column count on line {line}"),
+            LogParseError::BadField { line, column } => {
+                write!(f, "unparsable field at line {line}, column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogParseError {}
+
+const FIXED_HEADERS: [&str; 3] = ["timestamp_ns", "pid", "final"];
+const FIXED_COUNTERS: [&str; 3] = ["INST_RETIRED", "CORE_CYCLES", "REF_CYCLES"];
+
+/// Renders samples as the controller's CSV log.
+///
+/// The header names the three fixed counters and then the configured
+/// programmable events by mnemonic; only the first `events.len()` PMC
+/// slots are emitted.
+pub fn render_csv(samples: &[Sample], events: &[HwEvent]) -> String {
+    let header: Vec<&str> = FIXED_HEADERS
+        .iter()
+        .chain(FIXED_COUNTERS.iter())
+        .copied()
+        .chain(events.iter().map(|e| e.mnemonic()))
+        .collect();
+    let mut out = header.join(",");
+    out.push('\n');
+    for s in samples {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}",
+            s.timestamp_ns, s.pid, s.final_sample as u8, s.fixed[0], s.fixed[1], s.fixed[2]
+        ));
+        for i in 0..events.len() {
+            out.push_str(&format!(",{}", s.pmc[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a controller CSV log back into samples.
+///
+/// # Errors
+///
+/// See [`LogParseError`]. Events beyond the four PMC slots are rejected as
+/// a [`LogParseError::BadHeader`].
+pub fn parse_csv(log: &str) -> Result<(Vec<HwEvent>, Vec<Sample>), LogParseError> {
+    let mut lines = log.lines().enumerate();
+    let (_, header) = lines.next().ok_or(LogParseError::BadHeader)?;
+    let columns: Vec<&str> = header.split(',').collect();
+    let fixed_len = FIXED_HEADERS.len() + FIXED_COUNTERS.len();
+    if columns.len() < fixed_len || columns[..3] != FIXED_HEADERS || columns[3..6] != FIXED_COUNTERS
+    {
+        return Err(LogParseError::BadHeader);
+    }
+    let event_names = &columns[fixed_len..];
+    if event_names.len() > pmu::NUM_PROGRAMMABLE {
+        return Err(LogParseError::BadHeader);
+    }
+    let events: Vec<HwEvent> = event_names
+        .iter()
+        .map(|name| {
+            pmu::event::ALL_EVENTS
+                .iter()
+                .copied()
+                .find(|e| e.mnemonic() == *name)
+                .ok_or(LogParseError::BadHeader)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut samples = Vec::new();
+    for (idx, row) in lines {
+        if row.is_empty() {
+            continue;
+        }
+        let line = idx + 1;
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != fixed_len + events.len() {
+            return Err(LogParseError::BadArity { line });
+        }
+        let num = |column: usize| -> Result<u64, LogParseError> {
+            fields[column]
+                .parse()
+                .map_err(|_| LogParseError::BadField { line, column })
+        };
+        let mut s = Sample {
+            timestamp_ns: num(0)?,
+            pid: num(1)? as u32,
+            final_sample: num(2)? != 0,
+            ..Sample::default()
+        };
+        for i in 0..3 {
+            s.fixed[i] = num(3 + i)?;
+        }
+        for i in 0..events.len() {
+            s.pmc[i] = num(fixed_len + i)?;
+        }
+        samples.push(s);
+    }
+    Ok((events, samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Sample> {
+        vec![
+            Sample {
+                timestamp_ns: 100,
+                pid: 3,
+                final_sample: false,
+                fixed: [10, 20, 30],
+                pmc: [1, 2, 0, 0],
+            },
+            Sample {
+                timestamp_ns: 200,
+                pid: 3,
+                final_sample: true,
+                fixed: [11, 21, 31],
+                pmc: [4, 5, 0, 0],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let events = vec![HwEvent::LlcReference, HwEvent::LlcMiss];
+        let csv = render_csv(&samples(), &events);
+        let (back_events, back) = parse_csv(&csv).unwrap();
+        assert_eq!(back_events, events);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].pmc[0], 1);
+        assert!(back[1].final_sample);
+        assert_eq!(back[1].fixed, [11, 21, 31]);
+    }
+
+    #[test]
+    fn header_is_self_describing() {
+        let csv = render_csv(&[], &[HwEvent::Load]);
+        assert!(csv.starts_with("timestamp_ns,pid,final,INST_RETIRED,CORE_CYCLES,REF_CYCLES,LOAD"));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert_eq!(parse_csv(""), Err(LogParseError::BadHeader));
+        assert_eq!(parse_csv("a,b,c\n"), Err(LogParseError::BadHeader));
+        let good = render_csv(&samples(), &[HwEvent::Load]);
+        let mut truncated: Vec<&str> = good.lines().collect();
+        let bad_row = "1,2";
+        truncated.push(bad_row);
+        let joined = truncated.join("\n");
+        assert!(matches!(
+            parse_csv(&joined),
+            Err(LogParseError::BadArity { .. })
+        ));
+        let bad_field = format!("{}\n1,notanumber,0,1,2,3,4", good.lines().next().unwrap());
+        assert!(matches!(
+            parse_csv(&bad_field),
+            Err(LogParseError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_event_mnemonic_rejected() {
+        let csv = "timestamp_ns,pid,final,INST_RETIRED,CORE_CYCLES,REF_CYCLES,NOT_AN_EVENT\n";
+        assert_eq!(parse_csv(csv), Err(LogParseError::BadHeader));
+    }
+
+    #[test]
+    fn empty_log_is_ok() {
+        let csv = render_csv(&[], &[]);
+        let (events, samples) = parse_csv(&csv).unwrap();
+        assert!(events.is_empty());
+        assert!(samples.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! The sample record and its wire encoding.
+//!
+//! Samples cross the kernel/user boundary through `read()` as fixed-size
+//! little-endian records, the way the real module hands its kernel buffer to
+//! the controller. Each record carries the timestamp, the pid that was on
+//! the core, the three fixed counters and the four programmable counters —
+//! all as *deltas since the previous sample* (the module resets counters
+//! after reading, producing the per-period time series of Figs. 4 and 7).
+
+use pmu::{NUM_FIXED, NUM_PROGRAMMABLE};
+
+/// Encoded size of one record: 8 (timestamp) + 4 (pid) + 4 (flags/pad) +
+/// 3×8 (fixed) + 4×8 (pmc).
+pub const RECORD_BYTES: usize = 8 + 4 + 4 + NUM_FIXED * 8 + NUM_PROGRAMMABLE * 8;
+
+/// One performance-counter sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sample {
+    /// Simulated time the sample was taken, nanoseconds since boot.
+    pub timestamp_ns: u64,
+    /// Pid that was running when the timer fired.
+    pub pid: u32,
+    /// Set when this is the final (partial-period) sample taken as the
+    /// target exited.
+    pub final_sample: bool,
+    /// Fixed-counter deltas: instructions retired, core cycles, ref cycles.
+    pub fixed: [u64; NUM_FIXED],
+    /// Programmable-counter deltas, in configured event order.
+    pub pmc: [u64; NUM_PROGRAMMABLE],
+}
+
+impl Sample {
+    /// Instructions retired in this period (fixed counter 0).
+    pub fn instructions(&self) -> u64 {
+        self.fixed[0]
+    }
+
+    /// Core cycles in this period (fixed counter 1).
+    pub fn core_cycles(&self) -> u64 {
+        self.fixed[1]
+    }
+
+    /// Encodes into the 80-byte wire format.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.timestamp_ns.to_le_bytes());
+        out.extend_from_slice(&self.pid.to_le_bytes());
+        out.extend_from_slice(&(self.final_sample as u32).to_le_bytes());
+        for v in self.fixed {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in self.pmc {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decodes one record from `bytes`.
+    ///
+    /// Returns `None` if `bytes` is shorter than [`RECORD_BYTES`].
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < RECORD_BYTES {
+            return None;
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let mut s = Sample {
+            timestamp_ns: u64_at(0),
+            pid: u32_at(8),
+            final_sample: u32_at(12) != 0,
+            ..Sample::default()
+        };
+        for (i, v) in s.fixed.iter_mut().enumerate() {
+            *v = u64_at(16 + i * 8);
+        }
+        for (i, v) in s.pmc.iter_mut().enumerate() {
+            *v = u64_at(16 + NUM_FIXED * 8 + i * 8);
+        }
+        Some(s)
+    }
+
+    /// Decodes a whole drained buffer into samples (ignoring any trailing
+    /// partial record, which the module never produces).
+    pub fn decode_all(bytes: &[u8]) -> Vec<Sample> {
+        bytes
+            .chunks_exact(RECORD_BYTES)
+            .filter_map(Sample::decode)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sample {
+        Sample {
+            timestamp_ns: 123_456_789,
+            pid: 42,
+            final_sample: true,
+            fixed: [1, 2, 3],
+            pmc: [10, 20, 30, 40],
+        }
+    }
+
+    #[test]
+    fn record_size_is_fixed() {
+        let mut buf = Vec::new();
+        sample().encode_into(&mut buf);
+        assert_eq!(buf.len(), RECORD_BYTES);
+        assert_eq!(RECORD_BYTES, 72);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut buf = Vec::new();
+        sample().encode_into(&mut buf);
+        assert_eq!(Sample::decode(&buf), Some(sample()));
+    }
+
+    #[test]
+    fn decode_short_buffer_is_none() {
+        assert_eq!(Sample::decode(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn decode_all_handles_multiple_records() {
+        let mut buf = Vec::new();
+        let mut a = sample();
+        a.pid = 1;
+        let mut b = sample();
+        b.pid = 2;
+        a.encode_into(&mut buf);
+        b.encode_into(&mut buf);
+        let all = Sample::decode_all(&buf);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].pid, 1);
+        assert_eq!(all[1].pid, 2);
+    }
+
+    #[test]
+    fn decode_all_ignores_trailing_garbage() {
+        let mut buf = Vec::new();
+        sample().encode_into(&mut buf);
+        buf.extend_from_slice(&[0xFF; 10]);
+        assert_eq!(Sample::decode_all(&buf).len(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.instructions(), 1);
+        assert_eq!(s.core_cycles(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests of the K-LEB wire formats.
+
+use proptest::prelude::*;
+
+use kleb::{MonitorConfig, Sample, RECORD_BYTES};
+
+fn arb_sample() -> impl Strategy<Value = Sample> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<[u64; 3]>(),
+        any::<[u64; 4]>(),
+    )
+        .prop_map(|(timestamp_ns, pid, final_sample, fixed, pmc)| Sample {
+            timestamp_ns,
+            pid,
+            final_sample,
+            fixed,
+            pmc,
+        })
+}
+
+proptest! {
+    /// Every sample round-trips through the 72-byte wire format.
+    #[test]
+    fn sample_codec_roundtrip(sample in arb_sample()) {
+        let mut buf = Vec::new();
+        sample.encode_into(&mut buf);
+        prop_assert_eq!(buf.len(), RECORD_BYTES);
+        prop_assert_eq!(Sample::decode(&buf), Some(sample));
+    }
+
+    /// Batches of samples decode to exactly the encoded sequence, ignoring
+    /// trailing partial bytes.
+    #[test]
+    fn batch_codec_roundtrip(
+        samples in proptest::collection::vec(arb_sample(), 0..20),
+        garbage in proptest::collection::vec(any::<u8>(), 0..RECORD_BYTES - 1),
+    ) {
+        let mut buf = Vec::new();
+        for s in &samples {
+            s.encode_into(&mut buf);
+        }
+        buf.extend_from_slice(&garbage);
+        let decoded = Sample::decode_all(&buf);
+        prop_assert_eq!(decoded, samples);
+    }
+
+    /// Monitor configs round-trip through the ioctl payload marshalling.
+    #[test]
+    fn config_payload_roundtrip(
+        target in 1u32..10_000,
+        period_ns in 1u64..1_000_000_000,
+        track_children in any::<bool>(),
+        buffer_capacity in 1usize..100_000,
+        count_kernel in any::<bool>(),
+    ) {
+        let mut cfg = MonitorConfig::new(
+            ksim::Pid(target),
+            &[pmu::HwEvent::LlcMiss, pmu::HwEvent::Load],
+            ksim::Duration::from_nanos(period_ns),
+        );
+        cfg.track_children = track_children;
+        cfg.buffer_capacity = buffer_capacity;
+        cfg.count_kernel = count_kernel;
+        let back = MonitorConfig::from_payload(&cfg.to_payload());
+        prop_assert_eq!(back, Some(cfg));
+    }
+}

@@ -1,0 +1,100 @@
+//! Calibrated cycle costs of kernel mechanisms.
+//!
+//! Every kernel mechanism a monitoring tool exercises — trapping into a
+//! syscall, taking a timer interrupt, switching context, reading an MSR —
+//! costs cycles on the core it runs on, and those cycles are what the paper's
+//! overhead tables measure. The defaults here are calibrated to the paper's
+//! Core i7-920 testbed: microcosts (syscall, context switch, MSR access) use
+//! published measurements for Nehalem-class hardware, and the per-sample
+//! *tool work* constants are derived by solving the paper's own Table II
+//! (2 s run, 200 samples) and Table III (100 ms run, 10 samples) for fixed +
+//! per-sample cost, as documented in EXPERIMENTS.md.
+
+/// Cycle costs of individual kernel mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Trap into the kernel for a syscall (entry path).
+    pub syscall_entry: u64,
+    /// Return from a syscall (exit path).
+    pub syscall_exit: u64,
+    /// Full context switch (save/restore, scheduler pick, TLB effects).
+    pub context_switch: u64,
+    /// Interrupt entry (vector dispatch, register save).
+    pub interrupt_entry: u64,
+    /// Interrupt exit (EOI, register restore).
+    pub interrupt_exit: u64,
+    /// Reprogramming the high-resolution timer hardware.
+    pub hrtimer_program: u64,
+    /// One `rdmsr` instruction.
+    pub rdmsr: u64,
+    /// One `wrmsr` instruction.
+    pub wrmsr: u64,
+    /// One user-space `rdpmc` instruction.
+    pub rdpmc: u64,
+    /// Copying one sample record into a kernel buffer.
+    pub buffer_record: u64,
+    /// Copying one sample record from kernel to user space (per record,
+    /// during a `read` drain).
+    pub copy_to_user_record: u64,
+    /// Periodic scheduler-tick bookkeeping (runs with or without monitoring,
+    /// so it cancels out of overhead percentages).
+    pub sched_tick: u64,
+    /// Instructions the kernel retires per cycle while doing this
+    /// bookkeeping work (used to synthesize kernel-mode event counts).
+    pub kernel_ipc_milli: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            syscall_entry: 700,
+            syscall_exit: 500,
+            context_switch: 3_200,
+            interrupt_entry: 900,
+            interrupt_exit: 700,
+            hrtimer_program: 250,
+            rdmsr: 110,
+            wrmsr: 140,
+            rdpmc: 40,
+            buffer_record: 180,
+            copy_to_user_record: 90,
+            sched_tick: 1_500,
+            kernel_ipc_milli: 900, // 0.9 instructions per cycle
+        }
+    }
+}
+
+impl CostModel {
+    /// Kernel instructions retired for `cycles` of kernel work.
+    pub fn kernel_instructions(&self, cycles: u64) -> u64 {
+        cycles * self.kernel_ipc_milli / 1000
+    }
+
+    /// Full round-trip cost of an "empty" syscall.
+    pub fn syscall_round_trip(&self) -> u64 {
+        self.syscall_entry + self.syscall_exit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_plausible_nehalem_magnitudes() {
+        let c = CostModel::default();
+        // Syscall round trip on Nehalem ≈ 300-1500 cycles.
+        assert!(c.syscall_round_trip() >= 300 && c.syscall_round_trip() <= 3000);
+        // rdpmc is much cheaper than a syscall — the entire point of LiMiT.
+        assert!(c.rdpmc * 10 < c.syscall_round_trip());
+        // Context switch dwarfs MSR access.
+        assert!(c.context_switch > 10 * c.wrmsr);
+    }
+
+    #[test]
+    fn kernel_instruction_synthesis() {
+        let c = CostModel::default();
+        assert_eq!(c.kernel_instructions(1000), 900);
+        assert_eq!(c.kernel_instructions(0), 0);
+    }
+}

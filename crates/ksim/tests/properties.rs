@@ -1,0 +1,157 @@
+//! Property-based tests of scheduler and timing invariants.
+
+use proptest::prelude::*;
+
+use ksim::{
+    CoreId, Duration, FixedBlocks, Instant, ItemResult, Machine, MachineConfig, WorkBlock,
+    WorkItem, Workload,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-core time conservation: for processes pinned to one core, the
+    /// sum of their CPU time plus the core's idle time equals the final
+    /// clock value.
+    #[test]
+    fn core_time_is_conserved(
+        blocks_a in 10u64..300,
+        blocks_b in 10u64..300,
+        cycles in 200u64..5_000,
+    ) {
+        let mut m = Machine::new(MachineConfig::test_tiny(blocks_a ^ blocks_b));
+        let a = m.spawn(
+            "a",
+            CoreId(0),
+            Box::new(FixedBlocks::new(blocks_a, WorkBlock::compute(100, cycles))),
+        );
+        let b = m.spawn(
+            "b",
+            CoreId(0),
+            Box::new(FixedBlocks::new(blocks_b, WorkBlock::compute(100, cycles))),
+        );
+        m.run_to_quiescence();
+        let busy = m.process(a).cpu_user
+            + m.process(a).cpu_kernel
+            + m.process(b).cpu_user
+            + m.process(b).cpu_kernel;
+        let clock = m.now_on(CoreId(0)) - Instant::ZERO;
+        let accounted = busy + m.idle_time(CoreId(0));
+        // Kernel work not attributed to either process (idle-time switch
+        // tails) may make `accounted` fall slightly short, never overshoot.
+        prop_assert!(accounted <= clock);
+        let slack = clock - accounted;
+        prop_assert!(
+            slack < Duration::from_micros(200),
+            "unaccounted time {slack}"
+        );
+    }
+
+    /// Wall time ordering: a process's wall time always covers its CPU
+    /// time, and two CPU-bound processes sharing a core each wait for the
+    /// other (wall > own CPU time).
+    #[test]
+    fn wall_time_dominates_cpu_time(blocks in 50u64..400, cycles in 1_000u64..5_000) {
+        let mut m = Machine::new(MachineConfig::test_tiny(blocks));
+        let a = m.spawn(
+            "a",
+            CoreId(0),
+            Box::new(FixedBlocks::new(blocks, WorkBlock::compute(100, cycles))),
+        );
+        let b = m.spawn(
+            "b",
+            CoreId(0),
+            Box::new(FixedBlocks::new(blocks, WorkBlock::compute(100, cycles))),
+        );
+        m.run_to_quiescence();
+        for pid in [a, b] {
+            let p = m.process(pid);
+            prop_assert!(p.wall_time() >= p.cpu_user + p.cpu_kernel);
+        }
+    }
+
+    /// Sleeps never shorten: a process sleeping `d` has wall time at least
+    /// `d` regardless of scheduling.
+    #[test]
+    fn sleep_duration_is_a_lower_bound(sleep_us in 1u64..5_000, busy_blocks in 0u64..100) {
+        #[derive(Debug)]
+        struct SleepThenWork {
+            slept: bool,
+            blocks: u64,
+        }
+        impl Workload for SleepThenWork {
+            fn next(&mut self, _prev: &ItemResult) -> Option<WorkItem> {
+                if !self.slept {
+                    self.slept = true;
+                    return Some(WorkItem::Sleep(Duration::from_micros(0)));
+                }
+                if self.blocks == 0 {
+                    return None;
+                }
+                self.blocks -= 1;
+                Some(WorkItem::Block(WorkBlock::compute(10, 100)))
+            }
+        }
+        let mut m = Machine::new(MachineConfig::test_tiny(sleep_us));
+        #[derive(Debug)]
+        struct Sleeper {
+            d: Duration,
+            done: bool,
+        }
+        impl Workload for Sleeper {
+            fn next(&mut self, _prev: &ItemResult) -> Option<WorkItem> {
+                if self.done {
+                    return None;
+                }
+                self.done = true;
+                Some(WorkItem::Sleep(self.d))
+            }
+        }
+        let s = m.spawn(
+            "sleeper",
+            CoreId(0),
+            Box::new(Sleeper {
+                d: Duration::from_micros(sleep_us),
+                done: false,
+            }),
+        );
+        m.spawn(
+            "busy",
+            CoreId(0),
+            Box::new(SleepThenWork {
+                slept: false,
+                blocks: busy_blocks,
+            }),
+        );
+        m.run_to_quiescence();
+        prop_assert!(m.process(s).wall_time() >= Duration::from_micros(sleep_us));
+    }
+
+    /// Ground-truth ledgers are scheduling-invariant: the same workload
+    /// produces identical user-mode event totals whether it runs alone or
+    /// with competitors.
+    #[test]
+    fn ledger_is_scheduling_invariant(
+        blocks in 20u64..200,
+        competitors in 0usize..3,
+    ) {
+        let totals = |n_competitors: usize| {
+            let mut m = Machine::new(MachineConfig::test_tiny(9));
+            let pid = m.spawn(
+                "w",
+                CoreId(0),
+                Box::new(FixedBlocks::new(blocks, WorkBlock::compute(123, 456))),
+            );
+            for i in 0..n_competitors {
+                m.spawn(
+                    "c",
+                    CoreId(0),
+                    Box::new(FixedBlocks::new(blocks * 2, WorkBlock::compute(99, 300 + i as u64))),
+                );
+            }
+            m.run_to_quiescence();
+            m.process(pid).true_user_events
+        };
+        prop_assert_eq!(totals(0), totals(competitors));
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests of cache invariants.
+
+use proptest::prelude::*;
+
+use memsim::{AccessKind, Cache, CacheConfig, Hierarchy};
+
+proptest! {
+    /// Residency never exceeds capacity and a just-filled line is resident.
+    #[test]
+    fn capacity_and_residency(addrs in proptest::collection::vec(0u64..(1 << 14), 1..300)) {
+        let config = CacheConfig::new(64, 4, 2);
+        let mut cache = Cache::new(config);
+        let capacity_lines = (config.sets * config.ways) as usize;
+        for &a in &addrs {
+            cache.access(a, false);
+            prop_assert!(cache.contains(a), "just-touched line resident");
+            prop_assert!(cache.resident_lines() <= capacity_lines);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+    }
+
+    /// Inclusive hierarchy: any line in L1 is also in L2-or-LLC's reach —
+    /// i.e. after arbitrary accesses, flushing through the hierarchy always
+    /// leaves the line uncached everywhere.
+    #[test]
+    fn clflush_is_global(addrs in proptest::collection::vec(0u64..(1 << 16), 1..200)) {
+        let mut mem = Hierarchy::tiny();
+        for &a in &addrs {
+            mem.access(a, AccessKind::Read);
+        }
+        for &a in &addrs {
+            mem.clflush(a);
+            prop_assert!(!mem.is_cached(a));
+        }
+    }
+
+    /// Hit latency is always at most miss latency, and repeated access to
+    /// the same line is never slower the second time.
+    #[test]
+    fn latency_monotonic(addr in 0u64..(1 << 20)) {
+        let mut mem = Hierarchy::tiny();
+        let first = mem.access(addr, AccessKind::Read);
+        let second = mem.access(addr, AccessKind::Read);
+        prop_assert!(second.latency_cycles <= first.latency_cycles);
+        prop_assert!(second.l1_hit);
+    }
+
+    /// Writes then evictions conserve the writeback count: a dirty line is
+    /// written back at most once per eviction/flush.
+    #[test]
+    fn writeback_bounded_by_writes(
+        writes in proptest::collection::vec(0u64..(1 << 13), 1..200),
+    ) {
+        let mut cache = Cache::new(CacheConfig::new(64, 2, 2));
+        for &a in &writes {
+            cache.access(a, true);
+        }
+        cache.flush_all();
+        let s = cache.stats();
+        // Each distinct dirty line can be written back at most once per
+        // time it was made dirty; total writebacks never exceed writes.
+        prop_assert!(s.writebacks <= writes.len() as u64);
+    }
+}

@@ -1,0 +1,117 @@
+//! Model-specific register (MSR) addresses for the performance-monitoring
+//! unit, matching the Intel SDM layout.
+//!
+//! Tools in this reproduction program the PMU exclusively through
+//! [`crate::Pmu::wrmsr`]/[`crate::Pmu::rdmsr`] with these addresses — the same
+//! protocol the real K-LEB kernel module uses via `wrmsr`/`rdmsr`
+//! instructions.
+
+/// First programmable counter, `IA32_PMC0`. PMC1..3 follow contiguously.
+pub const IA32_PMC0: u32 = 0x0C1;
+/// `IA32_PMC1`.
+pub const IA32_PMC1: u32 = 0x0C2;
+/// `IA32_PMC2`.
+pub const IA32_PMC2: u32 = 0x0C3;
+/// `IA32_PMC3`.
+pub const IA32_PMC3: u32 = 0x0C4;
+
+/// First event-select register, `IA32_PERFEVTSEL0`. 1..3 follow contiguously.
+pub const IA32_PERFEVTSEL0: u32 = 0x186;
+/// `IA32_PERFEVTSEL1`.
+pub const IA32_PERFEVTSEL1: u32 = 0x187;
+/// `IA32_PERFEVTSEL2`.
+pub const IA32_PERFEVTSEL2: u32 = 0x188;
+/// `IA32_PERFEVTSEL3`.
+pub const IA32_PERFEVTSEL3: u32 = 0x189;
+
+/// Fixed-function counter 0 (instructions retired), `IA32_FIXED_CTR0`.
+pub const IA32_FIXED_CTR0: u32 = 0x309;
+/// Fixed-function counter 1 (unhalted core cycles), `IA32_FIXED_CTR1`.
+pub const IA32_FIXED_CTR1: u32 = 0x30A;
+/// Fixed-function counter 2 (unhalted reference cycles), `IA32_FIXED_CTR2`.
+pub const IA32_FIXED_CTR2: u32 = 0x30B;
+
+/// Fixed-counter control register, `IA32_FIXED_CTR_CTRL`.
+///
+/// Each fixed counter owns a 4-bit field: bit 0 enables OS (ring-0) counting,
+/// bit 1 enables USR (ring-3) counting, bit 3 enables PMI on overflow.
+pub const IA32_FIXED_CTR_CTRL: u32 = 0x38D;
+
+/// Global status register, `IA32_PERF_GLOBAL_STATUS` (read-only overflow bits).
+pub const IA32_PERF_GLOBAL_STATUS: u32 = 0x38E;
+
+/// Global enable register, `IA32_PERF_GLOBAL_CTRL`.
+///
+/// Bits 0..=3 enable PMC0..3; bits 32..=34 enable fixed counters 0..=2.
+pub const IA32_PERF_GLOBAL_CTRL: u32 = 0x38F;
+
+/// Global overflow-control register, `IA32_PERF_GLOBAL_OVF_CTRL`
+/// (write-1-to-clear status bits).
+pub const IA32_PERF_GLOBAL_OVF_CTRL: u32 = 0x390;
+
+/// Returns the `IA32_PMCn` address for programmable counter `n`.
+///
+/// # Panics
+///
+/// Panics if `n >= 4`.
+pub const fn pmc(n: usize) -> u32 {
+    assert!(n < 4);
+    IA32_PMC0 + n as u32
+}
+
+/// Returns the `IA32_PERFEVTSELn` address for programmable counter `n`.
+///
+/// # Panics
+///
+/// Panics if `n >= 4`.
+pub const fn perfevtsel(n: usize) -> u32 {
+    assert!(n < 4);
+    IA32_PERFEVTSEL0 + n as u32
+}
+
+/// Returns the `IA32_FIXED_CTRn` address for fixed counter `n`.
+///
+/// # Panics
+///
+/// Panics if `n >= 3`.
+pub const fn fixed_ctr(n: usize) -> u32 {
+    assert!(n < 3);
+    IA32_FIXED_CTR0 + n as u32
+}
+
+/// Bit position in `IA32_PERF_GLOBAL_CTRL`/`STATUS` for programmable counter `n`.
+pub const fn global_ctrl_pmc_bit(n: usize) -> u64 {
+    1u64 << n
+}
+
+/// Bit position in `IA32_PERF_GLOBAL_CTRL`/`STATUS` for fixed counter `n`.
+pub const fn global_ctrl_fixed_bit(n: usize) -> u64 {
+    1u64 << (32 + n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmc_addresses_contiguous() {
+        assert_eq!(pmc(0), IA32_PMC0);
+        assert_eq!(pmc(3), IA32_PMC3);
+        assert_eq!(perfevtsel(1), IA32_PERFEVTSEL1);
+        assert_eq!(fixed_ctr(2), IA32_FIXED_CTR2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pmc_out_of_range_panics() {
+        let _ = pmc(4);
+    }
+
+    #[test]
+    fn global_bits() {
+        assert_eq!(global_ctrl_pmc_bit(0), 1);
+        assert_eq!(global_ctrl_pmc_bit(3), 8);
+        assert_eq!(global_ctrl_fixed_bit(0), 1 << 32);
+        assert_eq!(global_ctrl_fixed_bit(2), 1 << 34);
+    }
+}

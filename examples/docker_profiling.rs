@@ -1,0 +1,39 @@
+//! Profile Docker containers without touching their binaries (paper §IV-B).
+//!
+//! K-LEB attaches to the container runtime process and follows its fork to
+//! the service process; the LLC-miss-per-kilo-instruction rate classifies
+//! each image as computation- or memory-intensive, which a scheduler can
+//! use to co-locate complementary workloads.
+//!
+//! Run with: `cargo run --release --example docker_profiling`
+
+use analysis::{mpki, IntensityClass};
+use kleb::Monitor;
+use ksim::{Duration, Machine, MachineConfig};
+use pmu::HwEvent;
+use workloads::DockerImage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("image     MPKI   classification");
+    println!("--------------------------------");
+    for image in [DockerImage::Python, DockerImage::Mysql, DockerImage::Nginx] {
+        let mut machine = Machine::new(MachineConfig::i7_920(7));
+        let outcome = Monitor::new(&[HwEvent::LlcMiss], Duration::from_millis(10))
+            .track_children(true) // follow the runtime's fork to the service
+            .run(
+                &mut machine,
+                image.name(),
+                Box::new(image.container(2_000, 3)),
+            )?;
+        let misses: u64 = outcome.samples.iter().map(|s| s.pmc[0]).sum();
+        let instructions: u64 = outcome.samples.iter().map(|s| s.fixed[0]).sum();
+        let rate = mpki(misses, instructions);
+        println!(
+            "{:<9} {:>5.2}  {}",
+            image.name(),
+            rate,
+            IntensityClass::from_mpki(rate)
+        );
+    }
+    Ok(())
+}

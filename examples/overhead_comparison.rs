@@ -1,0 +1,40 @@
+//! Compare monitoring overhead across all five tools (paper §V).
+//!
+//! Run with: `cargo run --release --example overhead_comparison`
+
+use baselines::{overhead_percent, run_tool, run_unmonitored, ToolSpec};
+use ksim::{Duration, Machine, MachineConfig};
+use pmu::HwEvent;
+use workloads::Matmul;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let events = [HwEvent::BranchRetired, HwEvent::Load, HwEvent::Store];
+    let n = 512; // ~125 ms simulated runtime
+    let period = Duration::from_millis(10);
+
+    let mut machine = Machine::new(MachineConfig::i7_920(1));
+    let base = run_unmonitored(&mut machine, "matmul", Box::new(Matmul::new(n, 1, 0.004)))?;
+    println!(
+        "baseline (no profiling): {:.2} ms\n",
+        base.wall_time().as_millis_f64()
+    );
+    println!("tool          overhead");
+    println!("----------------------");
+    for spec in ToolSpec::all_calibrated(500) {
+        let mut machine = Machine::new(MachineConfig::i7_920(1));
+        let run = run_tool(
+            &spec,
+            &mut machine,
+            "matmul",
+            Box::new(Matmul::new(n, 1, 0.004)),
+            &events,
+            period,
+        )?;
+        println!(
+            "{:<12}  {:>6.2} %",
+            spec.name(),
+            overhead_percent(base.wall_time(), run.wall_time())
+        );
+    }
+    Ok(())
+}

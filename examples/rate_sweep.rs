@@ -1,0 +1,42 @@
+//! Sweep K-LEB's sampling rate from 100 us to 100 ms on one workload.
+//!
+//! Shows the granularity/overhead trade-off the paper closes §V with: "it
+//! is up to the users to determine at what level they want to monitor".
+//!
+//! Run with: `cargo run --release --example rate_sweep`
+
+use kleb::Monitor;
+use ksim::{Duration, Machine, MachineConfig};
+use pmu::HwEvent;
+use workloads::Synthetic;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let work = Duration::from_millis(150);
+    // Unmonitored baseline.
+    let mut machine = Machine::new(MachineConfig::i7_920(3));
+    let pid = machine.spawn("w", ksim::CoreId(0), Box::new(Synthetic::cpu_bound(work)));
+    let baseline = machine.run_until_exit(pid)?.wall_time();
+    println!("baseline: {:.2} ms\n", baseline.as_millis_f64());
+    println!("period      samples   wall (ms)   overhead");
+    println!("--------------------------------------------");
+    for period_us in [100u64, 500, 1_000, 10_000, 100_000] {
+        let mut machine = Machine::new(MachineConfig::i7_920(3));
+        let outcome = Monitor::new(&[HwEvent::Load], Duration::from_micros(period_us)).run(
+            &mut machine,
+            "w",
+            Box::new(Synthetic::cpu_bound(work)),
+        )?;
+        let wall = outcome.target.wall_time();
+        let overhead = (wall.as_nanos() as f64 - baseline.as_nanos() as f64)
+            / baseline.as_nanos() as f64
+            * 100.0;
+        println!(
+            "{:>8}    {:>6}    {:>8.2}    {:>6.2} %",
+            Duration::from_micros(period_us).to_string(),
+            outcome.samples.len(),
+            wall.as_millis_f64(),
+            overhead
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # kleb-repro — umbrella crate for the K-LEB reproduction
+//!
+//! Reproduction of *"High Frequency Performance Monitoring via
+//! Architectural Event Measurement"* (IISWC 2020). This crate re-exports
+//! the workspace so downstream users can depend on one crate:
+//!
+//! - [`kleb`] — the paper's system: kernel module, controller, and the
+//!   one-call [`kleb::Monitor`] API;
+//! - [`ksim`] — the simulated machine (CPU, kernel, scheduler, timers);
+//! - [`pmu`] — the performance-monitoring-unit model;
+//! - [`memsim`] — the cache hierarchy;
+//! - [`workloads`] — the paper's benchmark programs;
+//! - [`baselines`] — perf stat / perf record / PAPI / LiMiT;
+//! - [`analysis`] — statistics, metrics, phase/anomaly detection.
+//!
+//! See the repository README for a quickstart and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+//!
+//! ```
+//! use kleb_repro::prelude::*;
+//!
+//! let mut machine = Machine::new(MachineConfig::test_tiny(1));
+//! let outcome = Monitor::new(&[HwEvent::LlcMiss], Duration::from_millis(1))
+//!     .run(&mut machine, "app", Box::new(Synthetic::cpu_bound(Duration::from_millis(5))))?;
+//! assert!(!outcome.samples.is_empty());
+//! # Ok::<(), kleb::MonitorError>(())
+//! ```
+
+pub use analysis;
+pub use baselines;
+pub use kleb;
+pub use ksim;
+pub use memsim;
+pub use pmu;
+pub use workloads;
+
+/// The most common imports for monitoring sessions.
+pub mod prelude {
+    pub use analysis::{mpki, EwmaDetector, IntensityClass};
+    pub use kleb::{Monitor, MonitorOutcome, Sample};
+    pub use ksim::{CoreId, Duration, Instant, Machine, MachineConfig, Pid};
+    pub use pmu::HwEvent;
+    pub use workloads::{Dgemm, DockerImage, Linpack, Matmul, Synthetic};
+}

@@ -1,0 +1,147 @@
+//! Property-based integration tests: invariants of the simulation stack
+//! under randomized workloads and configurations.
+
+use proptest::prelude::*;
+
+use kleb::{KlebTuning, Monitor};
+use ksim::{CoreId, Duration, FixedBlocks, Machine, MachineConfig, WorkBlock};
+use memsim::{AccessKind, AccessPattern, Hierarchy};
+use pmu::{EventCounts, HwEvent};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// K-LEB's sample deltas sum exactly to the process's true user-mode
+    /// counts for any block shape, period and buffer size.
+    #[test]
+    fn sample_sums_equal_truth(
+        blocks in 50u64..800,
+        instr in 100u64..5_000,
+        cycles in 200u64..8_000,
+        period_us in 100u64..2_000,
+        capacity in 8usize..4096,
+    ) {
+        let mut machine = Machine::new(MachineConfig::test_tiny(blocks ^ instr));
+        let outcome = Monitor::new(
+            &[HwEvent::BranchRetired],
+            Duration::from_micros(period_us),
+        )
+        .tuning(KlebTuning::microarchitectural())
+        .buffer_capacity(capacity)
+        .run(
+            &mut machine,
+            "w",
+            Box::new(FixedBlocks::new(
+                blocks,
+                WorkBlock::compute(instr, cycles).with_events(
+                    EventCounts::new().with(HwEvent::BranchRetired, instr / 7),
+                ),
+            )),
+        )
+        .expect("monitored run");
+        prop_assert_eq!(
+            outcome.total_instructions(),
+            outcome.target.true_user_events.get(HwEvent::InstructionsRetired)
+        );
+        prop_assert_eq!(
+            outcome.total_event(HwEvent::BranchRetired),
+            Some(outcome.target.true_user_events.get(HwEvent::BranchRetired))
+        );
+        // No sample was dropped.
+        prop_assert_eq!(outcome.samples.len() as u64, outcome.status.samples_taken);
+    }
+
+    /// Monitoring never speeds a process up, and the monitored process's
+    /// user-mode event counts are untouched by observation.
+    #[test]
+    fn monitoring_is_observation_only(
+        blocks in 50u64..400,
+        cycles in 500u64..5_000,
+        period_us in 200u64..2_000,
+    ) {
+        let workload = || {
+            Box::new(FixedBlocks::new(
+                blocks,
+                WorkBlock::compute(cycles * 9 / 10, cycles),
+            ))
+        };
+        let mut bare = Machine::new(MachineConfig::test_tiny(1));
+        let pid = bare.spawn("w", CoreId(0), workload());
+        let bare_info = bare.run_until_exit(pid).expect("bare run");
+
+        let mut monitored = Machine::new(MachineConfig::test_tiny(1));
+        let outcome = Monitor::new(&[HwEvent::Load], Duration::from_micros(period_us))
+            .tuning(KlebTuning::microarchitectural())
+            .run(&mut monitored, "w", workload())
+            .expect("monitored run");
+
+        prop_assert!(outcome.target.wall_time() >= bare_info.wall_time());
+        prop_assert_eq!(
+            outcome.target.true_user_events.get(HwEvent::InstructionsRetired),
+            bare_info.true_user_events.get(HwEvent::InstructionsRetired)
+        );
+    }
+
+    /// Cache hierarchy: hits never increase after a clflush of that line,
+    /// and total accesses are conserved across levels.
+    #[test]
+    fn hierarchy_flush_and_conservation(
+        addrs in proptest::collection::vec(0u64..(1 << 16), 1..200),
+    ) {
+        let mut mem = Hierarchy::tiny();
+        for &a in &addrs {
+            mem.access(a, AccessKind::Read);
+        }
+        let stats = mem.stats();
+        prop_assert_eq!(stats.accesses, addrs.len() as u64);
+        // Misses at an outer level can never exceed references to it.
+        prop_assert!(stats.llc_misses <= stats.llc_references);
+        prop_assert!(stats.llc_references <= stats.l2_misses);
+        prop_assert!(stats.l2_misses <= stats.l1d_misses);
+        prop_assert!(stats.l1d_misses <= stats.accesses);
+        // Flushing a line makes its next access a full memory access.
+        let victim = addrs[0];
+        mem.clflush(victim);
+        prop_assert!(!mem.is_cached(victim));
+        let r = mem.access(victim, AccessKind::Read);
+        prop_assert!(r.memory_access());
+    }
+
+    /// Access patterns are deterministic: equal descriptors produce equal
+    /// streams, and the cache sees identical outcomes.
+    #[test]
+    fn patterns_replay_identically(seed in any::<u64>(), count in 1u64..500) {
+        let p = AccessPattern::Random {
+            base: 0x1000,
+            extent: 1 << 20,
+            count,
+            seed,
+            kind: AccessKind::Read,
+        };
+        let a: Vec<_> = p.cursor().collect();
+        let b: Vec<_> = p.cursor().collect();
+        prop_assert_eq!(&a, &b);
+        let mut m1 = Hierarchy::tiny();
+        let mut m2 = Hierarchy::tiny();
+        for (&(addr, kind), &(addr2, kind2)) in a.iter().zip(&b) {
+            prop_assert_eq!(m1.access(addr, kind), m2.access(addr2, kind2));
+        }
+    }
+
+    /// The machine is deterministic: identical seeds and workloads produce
+    /// identical wall times and ground-truth ledgers.
+    #[test]
+    fn machine_is_deterministic(seed in any::<u64>(), blocks in 10u64..200) {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::test_tiny(seed));
+            let pid = m.spawn(
+                "w",
+                CoreId(0),
+                Box::new(FixedBlocks::new(blocks, WorkBlock::compute(100, 300))),
+            );
+            let info = m.run_until_exit(pid).expect("run");
+            (info.wall_time(), info.true_user_events)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

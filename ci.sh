@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The repository's full verification gate. Everything here must pass
+# before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> OK"

@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so benches link against
+//! this minimal harness instead. It keeps the upstream API shape
+//! (`Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `black_box`, `criterion_group!`/`criterion_main!`)
+//! and reports median / mean / min / max wall-clock time per iteration,
+//! plus throughput when [`Throughput`] is set. There is no statistical
+//! regression analysis; numbers are printed, not stored.
+//!
+//! `cargo bench` runs full sample counts; `cargo test` (which compiles
+//! benches with `--test`) runs each benchmark once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock time formatted with a sensible unit.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units of work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id shown as the parameter's Display form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id of the form `name/parameter`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one benchmark's timing loop.
+pub struct Bencher {
+    samples: u64,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.per_iter.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks with shared configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<I: std::fmt::Display, R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.effective_samples(),
+            per_iter: Vec::new(),
+        };
+        routine(&mut bencher);
+        self.report(&id.to_string(), &mut bencher.per_iter);
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input value.
+    pub fn bench_with_input<I: std::fmt::Display, T: ?Sized, R: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.effective_samples(),
+            per_iter: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &mut bencher.per_iter);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; present for API parity).
+    pub fn finish(self) {}
+
+    fn effective_samples(&self) -> u64 {
+        if self.criterion.smoke_test {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn report(&self, id: &str, per_iter: &mut [Duration]) {
+        if per_iter.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return;
+        }
+        per_iter.sort_unstable();
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        let median = per_iter[per_iter.len() / 2];
+        let total: Duration = per_iter.iter().sum();
+        let mean = total / per_iter.len() as u32;
+        let mut line = format!(
+            "{}/{id}: median {} (mean {}, range {} .. {}, n={})",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+            per_iter.len(),
+        );
+        if let Some(tp) = self.throughput {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!(", {:.3} Melem/s", n as f64 / secs / 1e6));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(
+                            ", {:.3} MiB/s",
+                            n as f64 / secs / (1 << 20) as f64
+                        ));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the binary with `--bench`; any other
+        // invocation (notably `cargo test`, which runs bench targets too)
+        // gets one iteration per benchmark as a smoke test.
+        let smoke_test = !std::env::args().any(|a| a == "--bench");
+        Self { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 60,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_each_sample() {
+        let mut b = Bencher {
+            samples: 5,
+            per_iter: Vec::new(),
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(b.per_iter.len(), 5);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion { smoke_test: true };
+        let mut group = c.benchmark_group("t");
+        group.sample_size(10).throughput(Throughput::Elements(100));
+        group.bench_function("id", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(250)), "250.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Supplies the [`Normal`] distribution (the only one this workspace
+//! draws from) via the Box–Muller transform, plus the [`Distribution`]
+//! trait it is sampled through. Deterministic given a deterministic
+//! [`rand::RngCore`].
+
+use rand::RngCore;
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid normal-distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Types that can produce samples of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The normal (Gaussian) distribution N(mean, std_dev²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// [`NormalError`] if either parameter is non-finite or `std_dev` is
+    /// negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms in (0, 1] -> one standard normal.
+        let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn sample_statistics_are_plausible() {
+        let normal = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let normal = Normal::new(5.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(normal.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..16).map(|_| normal.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+    }
+}

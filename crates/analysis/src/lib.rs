@@ -12,6 +12,6 @@ pub mod timeseries;
 pub use detector::{Detection, EwmaDetector};
 pub use metrics::{gflops, mpki, performance_loss_percent, IntensityClass};
 pub use phases::{detect_phases, Phase, PhaseKind};
-pub use stats::{five_number, mean, percentile, stddev, FiveNumber};
+pub use stats::{five_number, mad, mean, median, percentile, robust_z, stddev, FiveNumber};
 pub use table::TextTable;
 pub use timeseries::{downsample, moving_average, sparkline};

@@ -40,6 +40,49 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
+/// Median; `0.0` for an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    percentile(values, 50.0)
+}
+
+/// Median absolute deviation from the median; `0.0` for an empty slice.
+pub fn mad(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Robust z-scores (modified z): each value's distance from the median in
+/// units of `1.4826 × MAD` — the fleet-aggregation outlier score. Unlike
+/// the classic z-score, one extreme machine cannot inflate the scale it
+/// is judged against.
+///
+/// When the MAD is zero (more than half the values identical), values
+/// equal to the median score `0.0` and every other value scores
+/// `±INFINITY` — an unambiguous outlier among constants.
+pub fn robust_z(values: &[f64]) -> Vec<f64> {
+    let m = median(values);
+    let scale = 1.4826 * mad(values);
+    values
+        .iter()
+        .map(|v| {
+            if v == &m {
+                0.0
+            } else if scale > 0.0 {
+                (v - m) / scale
+            } else {
+                (v - m).signum() * f64::INFINITY
+            }
+        })
+        .collect()
+}
+
 /// The five-number summary behind a box-and-whisker plot (paper Fig. 8).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FiveNumber {
@@ -127,6 +170,34 @@ mod tests {
     #[should_panic]
     fn empty_percentile_panics() {
         percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn median_and_mad() {
+        let v = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(median(&v), 3.0);
+        assert_eq!(mad(&v), 1.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mad(&[]), 0.0);
+    }
+
+    #[test]
+    fn robust_z_isolates_the_outlier() {
+        let v = [7.0, 7.2, 6.9, 7.1, 27.0];
+        let z = robust_z(&v);
+        assert!(z[4] > 10.0, "attacker score {}", z[4]);
+        for (i, zi) in z.iter().enumerate().take(4) {
+            assert!(zi.abs() < 3.5, "benign {i} scored {zi}");
+        }
+    }
+
+    #[test]
+    fn robust_z_with_zero_mad() {
+        let z = robust_z(&[5.0, 5.0, 5.0, 9.0]);
+        assert_eq!(z[0], 0.0);
+        assert_eq!(z[3], f64::INFINITY);
+        let z = robust_z(&[5.0, 5.0, 5.0, 1.0]);
+        assert_eq!(z[3], f64::NEG_INFINITY);
     }
 
     #[test]

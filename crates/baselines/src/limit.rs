@@ -14,8 +14,6 @@
 
 use std::sync::{Arc, Mutex};
 
-use serde::{Deserialize, Serialize};
-
 use pmu::{msr, EventSel, HwEvent, NUM_FIXED};
 
 use ksim::{
@@ -69,11 +67,13 @@ impl LimitCosts {
 }
 
 /// Session configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LimitOpenConfig {
     /// Events for the programmable counters as `(event, umask)`.
     pub events: Vec<(u8, u8)>,
 }
+
+jsonlite::json_struct!(LimitOpenConfig { events });
 
 #[derive(Debug)]
 struct Session {
@@ -114,7 +114,7 @@ impl Device for LimitKernel {
         if self.session.is_some() {
             return Err(Errno::Perm);
         }
-        let cfg: LimitOpenConfig = serde_json::from_slice(payload).map_err(|_| Errno::Inval)?;
+        let cfg: LimitOpenConfig = jsonlite::from_slice(payload).map_err(|_| Errno::Inval)?;
         if cfg.events.len() > pmu::NUM_PROGRAMMABLE {
             return Err(Errno::Inval);
         }
@@ -287,7 +287,7 @@ impl LimitInstrumented {
         WorkItem::Syscall(Syscall::Ioctl {
             device: self.device,
             request: LIMIT_OPEN,
-            payload: serde_json::to_vec(&cfg).expect("config serializes"),
+            payload: jsonlite::to_vec(&cfg).expect("config serializes"),
         })
     }
 

@@ -145,7 +145,7 @@ impl PapiInstrumented {
         WorkItem::Syscall(Syscall::Ioctl {
             device: self.device,
             request: PERF_OPEN,
-            payload: serde_json::to_vec(&cfg).expect("config serializes"),
+            payload: jsonlite::to_vec(&cfg).expect("config serializes"),
         })
     }
 
@@ -201,7 +201,7 @@ impl Workload for PapiInstrumented {
             Pending::ReadResult { is_final } => {
                 self.pending = Pending::None;
                 if let ItemResult::Syscall { payload, .. } = prev {
-                    if let Ok(counts) = serde_json::from_slice::<PerfCounts>(payload) {
+                    if let Ok(counts) = jsonlite::from_slice::<PerfCounts>(payload) {
                         self.record_read(counts, is_final);
                     }
                 }

@@ -11,8 +11,6 @@
 //! The per-switch maintenance and syscall-heavy read path are exactly where
 //! perf's (and PAPI's) overhead comes from in the paper's Tables II/III.
 
-use serde::{Deserialize, Serialize};
-
 use pmu::{msr, EventSel, HwEvent, Multiplexer, NUM_FIXED, NUM_PROGRAMMABLE};
 
 use ksim::{CoreId, Device, Errno, Instant, KernelCtx, Pid, TimerId};
@@ -58,7 +56,7 @@ impl Default for PerfKernelCosts {
 }
 
 /// Session configuration crossing the `ioctl` boundary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PerfOpenConfig {
     /// Target pid; `0` means "the calling process" (PAPI-style self-
     /// monitoring).
@@ -73,7 +71,7 @@ pub struct PerfOpenConfig {
 }
 
 /// Counts returned by [`PERF_READ`].
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PerfCounts {
     /// Fixed-counter totals: instructions, core cycles, reference cycles.
     pub fixed: [u64; 3],
@@ -85,6 +83,19 @@ pub struct PerfCounts {
     /// Whether the totals are multiplex-scaled estimates.
     pub multiplexed: bool,
 }
+
+jsonlite::json_struct!(PerfOpenConfig {
+    target,
+    events,
+    count_kernel,
+    track_children
+});
+jsonlite::json_struct!(PerfCounts {
+    fixed,
+    events,
+    target_alive,
+    multiplexed
+});
 
 #[derive(Debug)]
 struct Session {
@@ -228,7 +239,7 @@ impl Device for PerfEventKernel {
                     return Err(Errno::Perm);
                 }
                 let mut cfg: PerfOpenConfig =
-                    serde_json::from_slice(payload).map_err(|_| Errno::Inval)?;
+                    jsonlite::from_slice(payload).map_err(|_| Errno::Inval)?;
                 if cfg.target == 0 {
                     cfg.target = caller.0;
                 }
@@ -299,7 +310,7 @@ impl Device for PerfEventKernel {
                     }
                 }
                 let counts = self.counts();
-                Ok((0, serde_json::to_vec(&counts).expect("counts serialize")))
+                Ok((0, jsonlite::to_vec(&counts).expect("counts serialize")))
             }
             PERF_CLOSE => {
                 let Some(mut s) = self.session.take() else {
@@ -408,8 +419,8 @@ mod tests {
             count_kernel: true,
             track_children: false,
         };
-        let bytes = serde_json::to_vec(&cfg).unwrap();
-        let back: PerfOpenConfig = serde_json::from_slice(&bytes).unwrap();
+        let bytes = jsonlite::to_vec(&cfg).unwrap();
+        let back: PerfOpenConfig = jsonlite::from_slice(&bytes).unwrap();
         assert_eq!(back.target, 5);
         assert_eq!(back.events.len(), 2);
     }
@@ -422,8 +433,8 @@ mod tests {
             target_alive: true,
             multiplexed: false,
         };
-        let bytes = serde_json::to_vec(&c).unwrap();
-        assert_eq!(serde_json::from_slice::<PerfCounts>(&bytes).unwrap(), c);
+        let bytes = jsonlite::to_vec(&c).unwrap();
+        assert_eq!(jsonlite::from_slice::<PerfCounts>(&bytes).unwrap(), c);
     }
 
     #[test]

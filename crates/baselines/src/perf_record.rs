@@ -16,8 +16,6 @@
 
 use std::sync::{Arc, Mutex};
 
-use serde::{Deserialize, Serialize};
-
 use pmu::{msr, EventSel, HwEvent};
 
 use ksim::{
@@ -84,7 +82,7 @@ impl PerfRecordCosts {
 }
 
 /// Session configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RecordOpenConfig {
     /// Target pid; `0` = caller.
     pub target: u32,
@@ -97,7 +95,7 @@ pub struct RecordOpenConfig {
 }
 
 /// One drained sample on the wire.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WireSample {
     /// Timestamp, nanoseconds.
     pub t: u64,
@@ -108,13 +106,25 @@ pub struct WireSample {
 }
 
 /// Drain response.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RecordDrain {
     /// Buffered samples since the last drain.
     pub samples: Vec<WireSample>,
     /// Whether the target is still alive.
     pub target_alive: bool,
 }
+
+jsonlite::json_struct!(RecordOpenConfig {
+    target,
+    events,
+    period_cycles,
+    count_kernel
+});
+jsonlite::json_struct!(WireSample { t, v, i });
+jsonlite::json_struct!(RecordDrain {
+    samples,
+    target_alive
+});
 
 #[derive(Debug)]
 struct Session {
@@ -199,7 +209,7 @@ impl Device for PerfRecordModule {
                     return Err(Errno::Perm);
                 }
                 let mut cfg: RecordOpenConfig =
-                    serde_json::from_slice(payload).map_err(|_| Errno::Inval)?;
+                    jsonlite::from_slice(payload).map_err(|_| Errno::Inval)?;
                 if cfg.target == 0 {
                     cfg.target = caller.0;
                 }
@@ -253,7 +263,7 @@ impl Device for PerfRecordModule {
                 let n = drain.samples.len() as u64;
                 let copy_cost = n * ctx.cost().copy_to_user_record;
                 ctx.charge_kernel_cycles(copy_cost);
-                Ok((0, serde_json::to_vec(&drain).expect("drain serializes")))
+                Ok((0, jsonlite::to_vec(&drain).expect("drain serializes")))
             }
             RECORD_CLOSE => {
                 let Some(mut s) = self.session.take() else {
@@ -399,7 +409,7 @@ impl Workload for PerfRecordProcess {
                     return Some(WorkItem::Syscall(Syscall::Ioctl {
                         device: self.device,
                         request: RECORD_OPEN,
-                        payload: serde_json::to_vec(&cfg).expect("config serializes"),
+                        payload: jsonlite::to_vec(&cfg).expect("config serializes"),
                     }));
                 }
                 PH_RESUME => {
@@ -427,7 +437,7 @@ impl Workload for PerfRecordProcess {
                 }
                 PH_WRITE => {
                     let drain: Option<RecordDrain> = match prev {
-                        ItemResult::Syscall { payload, .. } => serde_json::from_slice(payload).ok(),
+                        ItemResult::Syscall { payload, .. } => jsonlite::from_slice(payload).ok(),
                         _ => None,
                     };
                     let Some(drain) = drain else {

@@ -113,7 +113,7 @@ impl PerfStatProcess {
             count_kernel: self.count_kernel,
             track_children: true,
         };
-        serde_json::to_vec(&cfg).expect("config serializes")
+        jsonlite::to_vec(&cfg).expect("config serializes")
     }
 }
 
@@ -171,7 +171,7 @@ impl Workload for PerfStatProcess {
                 }
                 PH_FORMAT => {
                     let counts: Option<PerfCounts> = match prev {
-                        ItemResult::Syscall { payload, .. } => serde_json::from_slice(payload).ok(),
+                        ItemResult::Syscall { payload, .. } => jsonlite::from_slice(payload).ok(),
                         _ => None,
                     };
                     let Some(counts) = counts else {

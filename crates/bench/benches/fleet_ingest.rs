@@ -1,0 +1,61 @@
+//! Fleet store ingestion cost: the collector's hot path, isolated.
+//!
+//! Measures `FleetStore::ingest` throughput for batches fanning out to
+//! five lanes (three fixed + two events), and the channel send/recv pair
+//! under the Block policy — the two operations every sample pays on its
+//! way from a monitor to the store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fleet::{bounded, Backpressure, FleetStore};
+use kleb::Sample;
+use pmu::HwEvent;
+
+fn batch(len: u64) -> Vec<Sample> {
+    (0..len)
+        .map(|i| Sample {
+            timestamp_ns: (i + 1) * 100_000,
+            pid: 7,
+            final_sample: false,
+            fixed: [1_000 + i, 2_670 * (i + 1), 2_000],
+            pmc: [40 + i % 11, 7 + i % 3, 0, 0],
+        })
+        .collect()
+}
+
+fn bench_store_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_store_ingest");
+    for batch_len in [16u64, 256, 4096] {
+        group.throughput(Throughput::Elements(batch_len));
+        let samples = batch(batch_len);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{batch_len}_samples")),
+            &samples,
+            |b, samples| {
+                b.iter(|| {
+                    let mut store =
+                        FleetStore::new(1, vec![HwEvent::LlcReference, HwEvent::LlcMiss], 8 * 1024);
+                    store.ingest(0, samples)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_channel_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_channel_roundtrip");
+    let batch_len = 256u64;
+    group.throughput(Throughput::Elements(batch_len));
+    let samples = batch(batch_len);
+    group.bench_function("send_recv_256", |b| {
+        let (tx, rx) = bounded(1, 64, Backpressure::Block);
+        b.iter(|| {
+            tx[0].send(samples.clone());
+            rx.recv().expect("batch queued")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_ingest, bench_channel_roundtrip);
+criterion_main!(benches);

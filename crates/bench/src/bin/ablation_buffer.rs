@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!(
         "Ablation — kernel buffer capacity vs safety-stop pauses (100 us sampling, 20 ms drains)"
     );

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!("Ablation — overhead ordering with microarchitectural cost profiles (1 ms rate)");
     println!("Shows kernel-buffered sampling (K-LEB) beats interrupt- and syscall-driven");
     println!("approaches at matched density even with first-principles microcosts; LiMiT's");

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!("Ablation — timer jitter as a fraction of the sampling period");
     println!("Paper §VI: jitter makes periods below ~100 us unreliable\n");
     let rows = experiments::ablation_jitter(&scale);

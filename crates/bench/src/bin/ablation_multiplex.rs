@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!("Ablation — perf multiplexing: 8 events on 4 counters over a two-phase workload");
     println!("Paper §VI: time-multiplexed estimates 'may not be suitable for measurement systems that require precision'\n");
     let rows = experiments::ablation_multiplex(&scale);

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!("Ablation — overhead vs sampling period (200 ms CPU-bound workload)");
     println!("Paper: K-LEB reaches 100 us; perf cannot go below 10 ms; overhead grows with rate\n");
     let rows = experiments::ablation_rate_sweep(&scale);

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!("Case study - MPKI-classified placement of four container services on two cores");
     println!("Paper §IV-B: performance-counter classification lets the scheduler keep the");
     println!(

@@ -24,6 +24,7 @@ fn series(server: Box<dyn Workload>, seed: u64) -> Vec<f64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     let requests = scale.docker_blocks.max(600);
     println!("Case study - Heartbleed-style data-only exploit via K-LEB @ 100 us");
     println!(

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!("Fig. 4 — LINPACK behaviour in hardware performance counter samples (10 ms)");
     println!("Paper: quiet init, LOAD/STORE-heavy setup, then repeating load→compute(ARITH_MUL)→store phases\n");
     let result = experiments::fig4_linpack_phases(&scale);

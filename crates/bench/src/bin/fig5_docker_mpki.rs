@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!(
         "Fig. 5 — LLC misses per kilo-instruction for Docker workloads (K-LEB, fork-following)"
     );

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!("Fig. 7 — Meltdown vs Non-Meltdown via K-LEB (100 us samples)");
     println!("Paper: the attack runs longer, with abnormally high LLC miss/ref ratio at the point of attack;\nperf at 10 ms would see at most one sample for the benign run\n");
     let r = experiments::fig7_meltdown_series(&scale);

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!("Fig. 9 — % difference in hardware event counts, K-LEB vs other tools (matmul)");
     println!("Paper: <0.0008% vs perf stat on deterministic events; <0.15% vs perf record; <0.3% overall\n");
     let rows = experiments::fig9_accuracy(&scale);

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!(
         "Table I — LINPACK GFLOPS across profiling tools (n = {}, {} trials, 10 ms rate)",
         scale.linpack_n, scale.linpack_trials

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!(
         "Table II — % overhead, triple-nested-loop matrix multiplication ({} trials, 10 ms rate)",
         scale.overhead_trials

@@ -6,6 +6,7 @@ use kleb_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
     println!("AWS verification — K-LEB on i7-920 vs Xeon Platinum 8259CL");
     println!(
         "Paper §IV: <1% difference in counts; Docker MPKI trend consistent across processors\n"

@@ -69,15 +69,36 @@ impl Scale {
         }
     }
 
-    /// Parses `--full` / `--quick` from CLI args (default: `default_run`).
+    /// Parses `--full` / `--quick` (default: `default_run`) and
+    /// `--seed N` from CLI args. Every experiment binary shares this
+    /// parser so seeds behave identically across the suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--seed` is missing its value or the value is not a
+    /// `u64` — wrong invocations should fail loudly, not run with a
+    /// silently different seed.
     pub fn from_args(args: &[String]) -> Self {
-        if args.iter().any(|a| a == "--full") {
+        let mut scale = if args.iter().any(|a| a == "--full") {
             Self::paper()
         } else if args.iter().any(|a| a == "--quick") {
             Self::quick()
         } else {
             Self::default_run()
+        };
+        if let Some(at) = args.iter().position(|a| a == "--seed") {
+            let value = args.get(at + 1).expect("--seed requires a value");
+            scale.seed = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--seed expects a u64, got {value:?}"));
         }
+        scale
+    }
+
+    /// One-line seed announcement for experiment output headers, so any
+    /// run can be reproduced with `--seed`.
+    pub fn seed_line(&self) -> String {
+        format!("rng seed: {} (override with --seed N)", self.seed)
     }
 }
 
@@ -98,6 +119,24 @@ mod tests {
         let quick = Scale::from_args(&["--quick".to_string()]);
         assert_eq!(quick, Scale::quick());
         assert_eq!(Scale::from_args(&[]), Scale::default_run());
+    }
+
+    #[test]
+    fn seed_override_composes_with_scale_flags() {
+        let args: Vec<String> = ["--quick", "--seed", "1234"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let s = Scale::from_args(&args);
+        assert_eq!(s.seed, 1234);
+        assert_eq!(s.linpack_n, Scale::quick().linpack_n);
+        assert!(s.seed_line().contains("1234"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed expects a u64")]
+    fn bad_seed_fails_loudly() {
+        Scale::from_args(&["--seed".to_string(), "banana".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Bounded sample-batch channels with explicit backpressure.
+//!
+//! Each monitored machine owns one [`Sender`]; a single collector drains
+//! the shared queue through the [`Receiver`]. The queue is bounded in
+//! *batches*; what happens when it fills is the [`Backpressure`] policy —
+//! the same decision K-LEB's kernel module faces when its ring buffer
+//! outruns the controller (there it pauses; here the fleet layer makes
+//! the trade-off explicit and accounts every dropped sample per stream).
+//!
+//! Built on `std::sync::{Mutex, Condvar}`: the build environment has no
+//! crates.io access, so crossbeam is not available.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use kleb::Sample;
+
+/// What [`Sender::send`] does when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Wait until the collector makes room. Lossless; the monitoring
+    /// thread stalls (the kernel module's "safety stop", one level up).
+    Block,
+    /// Evict the oldest queued batch to admit the new one. Bounded
+    /// staleness; the evicted stream is charged the drop.
+    DropOldest,
+    /// Discard the incoming batch. Bounded work; the sending stream is
+    /// charged the drop.
+    DropNewest,
+}
+
+/// One drained batch, tagged with the machine that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Index of the producing machine (dense, `0..streams`).
+    pub machine: usize,
+    /// The decoded records, in drain order.
+    pub samples: Vec<Sample>,
+}
+
+/// Counter snapshot for the whole channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Samples offered to the channel, per stream.
+    pub sent: Vec<u64>,
+    /// Samples dropped by backpressure, per stream (charged to the stream
+    /// whose samples were discarded).
+    pub dropped: Vec<u64>,
+    /// Samples handed to the receiver, per stream.
+    pub delivered: Vec<u64>,
+    /// Deepest the queue ever got, in batches.
+    pub depth_high_water: usize,
+    /// Total times a sender blocked waiting for room (Block policy).
+    pub block_waits: u64,
+}
+
+impl ChannelStats {
+    /// Total samples dropped across all streams.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+
+    /// Total samples offered across all streams.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<Batch>,
+    capacity: usize,
+    policy: Backpressure,
+    senders: usize,
+    sent: Vec<u64>,
+    dropped: Vec<u64>,
+    delivered: Vec<u64>,
+    depth_high_water: usize,
+    block_waits: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    inner: Mutex<Inner>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Creates a channel for `streams` producers with room for `capacity`
+/// queued batches, returning one [`Sender`] per stream plus the
+/// collector's [`Receiver`].
+///
+/// # Panics
+///
+/// Panics if `streams == 0` or `capacity == 0`.
+pub fn bounded(streams: usize, capacity: usize, policy: Backpressure) -> (Vec<Sender>, Receiver) {
+    assert!(streams > 0, "need at least one stream");
+    assert!(capacity > 0, "capacity must be non-zero");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            policy,
+            senders: streams,
+            sent: vec![0; streams],
+            dropped: vec![0; streams],
+            delivered: vec![0; streams],
+            depth_high_water: 0,
+            block_waits: 0,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    let senders = (0..streams)
+        .map(|stream| Sender {
+            shared: Arc::clone(&shared),
+            stream,
+        })
+        .collect();
+    (senders, Receiver { shared })
+}
+
+/// The producing end for one stream. Dropping it signals stream end.
+#[derive(Debug)]
+pub struct Sender {
+    shared: Arc<Shared>,
+    stream: usize,
+}
+
+impl Sender {
+    /// Enqueues one batch under the channel's backpressure policy.
+    ///
+    /// Empty batches are counted as sent but not enqueued.
+    pub fn send(&self, samples: Vec<Sample>) {
+        if samples.is_empty() {
+            return;
+        }
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.sent[self.stream] += samples.len() as u64;
+        while inner.queue.len() >= inner.capacity {
+            match inner.policy {
+                Backpressure::Block => {
+                    inner.block_waits += 1;
+                    inner = self.shared.not_full.wait(inner).unwrap();
+                }
+                Backpressure::DropOldest => {
+                    let evicted = inner.queue.pop_front().expect("queue is full");
+                    inner.dropped[evicted.machine] += evicted.samples.len() as u64;
+                }
+                Backpressure::DropNewest => {
+                    inner.dropped[self.stream] += samples.len() as u64;
+                    return;
+                }
+            }
+        }
+        inner.queue.push_back(Batch {
+            machine: self.stream,
+            samples,
+        });
+        inner.depth_high_water = inner.depth_high_water.max(inner.queue.len());
+        drop(inner);
+        self.shared.not_empty.notify_one();
+    }
+
+    /// The stream index this sender is bound to.
+    pub fn stream(&self) -> usize {
+        self.stream
+    }
+}
+
+impl Drop for Sender {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Wake the collector so it can observe end-of-streams.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The collector end.
+#[derive(Debug)]
+pub struct Receiver {
+    shared: Arc<Shared>,
+}
+
+impl Receiver {
+    /// Dequeues the next batch, blocking while the queue is empty and any
+    /// sender is alive. `None` once every sender has dropped and the
+    /// queue is drained.
+    pub fn recv(&self) -> Option<Batch> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if let Some(batch) = inner.queue.pop_front() {
+                inner.delivered[batch.machine] += batch.samples.len() as u64;
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Some(batch);
+            }
+            if inner.senders == 0 {
+                return None;
+            }
+            inner = self.shared.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Dequeues without blocking; `None` if the queue is momentarily empty
+    /// (regardless of sender liveness).
+    pub fn try_recv(&self) -> Option<Batch> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        let batch = inner.queue.pop_front()?;
+        inner.delivered[batch.machine] += batch.samples.len() as u64;
+        drop(inner);
+        self.shared.not_full.notify_one();
+        Some(batch)
+    }
+
+    /// A consistent snapshot of the channel counters.
+    pub fn stats(&self) -> ChannelStats {
+        let inner = self.shared.inner.lock().unwrap();
+        ChannelStats {
+            sent: inner.sent.clone(),
+            dropped: inner.dropped.clone(),
+            delivered: inner.delivered.clone(),
+            depth_high_water: inner.depth_high_water,
+            block_waits: inner.block_waits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64) -> Sample {
+        Sample {
+            timestamp_ns: t,
+            pid: 1,
+            final_sample: false,
+            fixed: [t, 0, 0],
+            pmc: [0; 4],
+        }
+    }
+
+    fn batch_of(n: u64) -> Vec<Sample> {
+        (0..n).map(sample).collect()
+    }
+
+    #[test]
+    fn fifo_order_within_a_stream() {
+        let (tx, rx) = bounded(1, 8, Backpressure::Block);
+        tx[0].send(batch_of(1));
+        tx[0].send(batch_of(2));
+        assert_eq!(rx.recv().unwrap().samples.len(), 1);
+        assert_eq!(rx.recv().unwrap().samples.len(), 2);
+    }
+
+    #[test]
+    fn recv_returns_none_after_all_senders_drop() {
+        let (tx, rx) = bounded(2, 4, Backpressure::Block);
+        tx[0].send(batch_of(3));
+        drop(tx);
+        assert_eq!(rx.recv().unwrap().samples.len(), 3);
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn drop_newest_charges_the_sender() {
+        let (tx, rx) = bounded(2, 1, Backpressure::DropNewest);
+        tx[0].send(batch_of(5));
+        tx[1].send(batch_of(7)); // queue full: discarded
+        let stats = rx.stats();
+        assert_eq!(stats.dropped, vec![0, 7]);
+        assert_eq!(stats.sent, vec![5, 7]);
+        assert_eq!(rx.recv().unwrap().machine, 0);
+    }
+
+    #[test]
+    fn drop_oldest_charges_the_evicted_stream() {
+        let (tx, rx) = bounded(2, 1, Backpressure::DropOldest);
+        tx[0].send(batch_of(5));
+        tx[1].send(batch_of(7)); // evicts stream 0's batch
+        let stats = rx.stats();
+        assert_eq!(stats.dropped, vec![5, 0]);
+        let got = rx.recv().unwrap();
+        assert_eq!(got.machine, 1);
+        assert_eq!(got.samples.len(), 7);
+    }
+
+    #[test]
+    fn block_policy_is_lossless_across_threads() {
+        let (mut tx, rx) = bounded(4, 2, Backpressure::Block);
+        let handles: Vec<_> = tx
+            .drain(..)
+            .map(|sender| {
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        sender.send(batch_of(1 + i % 3));
+                    }
+                })
+            })
+            .collect();
+        let mut received = 0u64;
+        while let Some(batch) = rx.recv() {
+            received += batch.samples.len() as u64;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = rx.stats();
+        assert_eq!(stats.total_dropped(), 0);
+        assert_eq!(received, stats.total_sent());
+        assert_eq!(stats.delivered, stats.sent);
+        assert!(stats.depth_high_water <= 2);
+    }
+
+    #[test]
+    fn depth_high_water_tracks_peak() {
+        let (tx, rx) = bounded(1, 8, Backpressure::Block);
+        for _ in 0..5 {
+            tx[0].send(batch_of(1));
+        }
+        assert_eq!(rx.stats().depth_high_water, 5);
+        while rx.try_recv().is_some() {}
+        assert_eq!(rx.stats().depth_high_water, 5, "high-water is sticky");
+    }
+}

@@ -1,0 +1,44 @@
+//! Fleet telemetry pipeline: many K-LEB monitors, one collector.
+//!
+//! The paper demonstrates low-overhead, high-frequency monitoring of one
+//! process on one machine. This crate scales that architecture out:
+//! [`FleetRunner`] drives N independent simulated machines on OS
+//! threads, each with its own seeded RNG, workload, and K-LEB monitor;
+//! their sample batches stream through a bounded [`channel`] with an
+//! explicit [`Backpressure`] policy into a sharded [`FleetStore`], where
+//! windowed queries and the [`detect`] fan-in pass operate across the
+//! fleet. The pipeline observes itself through [`FleetMetrics`].
+//!
+//! ```
+//! use fleet::{FleetConfig, FleetRunner, MachineSpec};
+//! use ksim::{Duration, FixedBlocks, MachineConfig, WorkBlock};
+//! use pmu::HwEvent;
+//!
+//! let config = FleetConfig::new(&[HwEvent::LlcMiss], Duration::from_micros(500))
+//!     .machine(MachineConfig::test_tiny);
+//! let specs = (0..3)
+//!     .map(|i| {
+//!         MachineSpec::new(format!("m{i}"), 7 + i, |_seed| {
+//!             Box::new(FixedBlocks::new(2_000, WorkBlock::compute(1_000, 2_670))) as _
+//!         })
+//!     })
+//!     .collect();
+//! let outcome = FleetRunner::new(config).run(specs)?;
+//! assert_eq!(outcome.machines.len(), 3);
+//! assert_eq!(outcome.channel.total_dropped(), 0);
+//! # Ok::<(), fleet::FleetError>(())
+//! ```
+
+pub mod channel;
+pub mod detect;
+pub mod metrics;
+pub mod runner;
+pub mod store;
+
+pub use channel::{bounded, Backpressure, Batch, ChannelStats, Receiver, Sender};
+pub use detect::{scan_fleet, verdict_table, AnomalyConfig, FleetAnomalyReport, MachineVerdict};
+pub use metrics::{FleetMetrics, LatencyHistogram};
+pub use runner::{
+    FleetConfig, FleetError, FleetOutcome, FleetRunner, MachineReport, MachineSpec, WorkloadFactory,
+};
+pub use store::{FleetStore, Lane, MachineSnapshot, Point, StoreStats, Window};

@@ -1,0 +1,402 @@
+//! Concurrent fleet execution: N machines, N monitors, one collector.
+//!
+//! [`FleetRunner`] spins one OS thread per [`MachineSpec`]. Each thread
+//! builds its own [`ksim::Machine`] from the spec's seed, runs the
+//! workload under a K-LEB [`kleb::Monitor`], and streams every drained
+//! batch into the shared bounded channel through the controller's
+//! [`kleb::SampleSink`] hook. The calling thread is the collector: it
+//! drains batches into the [`FleetStore`] and updates [`FleetMetrics`].
+//!
+//! Determinism contract: each machine's sample stream is a pure function
+//! of its seed and workload — threads only vary the *interleaving* of
+//! batches, and per-stream FIFO order is preserved, so under
+//! [`Backpressure::Block`] (lossless) the per-machine store contents are
+//! bit-for-bit reproducible across runs. Under the two Drop policies,
+//! *which* samples survive depends on real-time interleaving; only the
+//! per-stream accounting is guaranteed, not the surviving set.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kleb::{KlebTuning, Monitor, MonitorOutcome, Sample, SampleSink};
+use ksim::{Duration, Machine, MachineConfig, Workload};
+use pmu::HwEvent;
+
+use crate::channel::{bounded, Backpressure, ChannelStats, Sender};
+use crate::metrics::FleetMetrics;
+use crate::store::FleetStore;
+
+// The whole pipeline hinges on machines being buildable and runnable off
+// the spawning thread; keep that a compile-time fact.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+    assert_send::<Monitor>();
+};
+
+/// Builds a workload inside the machine's thread, from the spec's seed.
+pub type WorkloadFactory = Box<dyn FnOnce(u64) -> Box<dyn Workload> + Send>;
+
+/// One machine of the fleet.
+pub struct MachineSpec {
+    /// Display name (also the monitored process's name).
+    pub label: String,
+    /// Seed for the machine's RNG and its workload.
+    pub seed: u64,
+    /// Workload constructor, invoked on the machine's thread.
+    pub workload: WorkloadFactory,
+}
+
+impl MachineSpec {
+    /// A spec running `workload(seed)` on a machine seeded with `seed`.
+    pub fn new(
+        label: impl Into<String>,
+        seed: u64,
+        workload: impl FnOnce(u64) -> Box<dyn Workload> + Send + 'static,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            seed,
+            workload: Box::new(workload),
+        }
+    }
+}
+
+impl std::fmt::Debug for MachineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineSpec")
+            .field("label", &self.label)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fleet-wide configuration shared by every machine.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Events programmed on each machine's programmable counters.
+    pub events: Vec<HwEvent>,
+    /// Sampling period.
+    pub period: Duration,
+    /// Module cost tuning.
+    pub tuning: KlebTuning,
+    /// Channel capacity, in batches.
+    pub channel_capacity: usize,
+    /// What a full channel does.
+    pub backpressure: Backpressure,
+    /// Per-shard point capacity of the store.
+    pub shard_capacity: usize,
+    /// Machine hardware model, built from the spec's seed.
+    pub machine_config: fn(u64) -> MachineConfig,
+}
+
+impl FleetConfig {
+    /// A config sampling `events` every `period` on i7-920-class
+    /// machines, lossless backpressure, 64-batch channel, 64Ki-point
+    /// shards.
+    pub fn new(events: &[HwEvent], period: Duration) -> Self {
+        Self {
+            events: events.to_vec(),
+            period,
+            tuning: KlebTuning::default(),
+            channel_capacity: 64,
+            backpressure: Backpressure::Block,
+            shard_capacity: 64 * 1024,
+            machine_config: MachineConfig::i7_920,
+        }
+    }
+
+    /// Overrides the module cost tuning.
+    pub fn tuning(mut self, tuning: KlebTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Overrides the backpressure policy.
+    pub fn backpressure(mut self, policy: Backpressure) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Overrides the channel capacity (batches).
+    pub fn channel_capacity(mut self, batches: usize) -> Self {
+        self.channel_capacity = batches;
+        self
+    }
+
+    /// Overrides the per-shard point capacity.
+    pub fn shard_capacity(mut self, points: usize) -> Self {
+        self.shard_capacity = points;
+        self
+    }
+
+    /// Overrides the machine hardware model.
+    pub fn machine(mut self, factory: fn(u64) -> MachineConfig) -> Self {
+        self.machine_config = factory;
+        self
+    }
+}
+
+/// Why a fleet run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// One machine's monitor failed; the rest of the fleet was joined
+    /// before returning.
+    Machine {
+        /// The failing spec's label.
+        label: String,
+        /// The underlying monitor error (or panic message).
+        error: String,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Machine { label, error } => {
+                write!(f, "machine '{label}' failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One machine's completed run.
+#[derive(Debug, Clone)]
+pub struct MachineReport {
+    /// The spec's label.
+    pub label: String,
+    /// The spec's seed.
+    pub seed: u64,
+    /// The monitor's full outcome (samples, timing, module status).
+    pub outcome: MonitorOutcome,
+}
+
+/// Everything a completed fleet run produced.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The populated sample store.
+    pub store: FleetStore,
+    /// Per-machine reports, spec order.
+    pub machines: Vec<MachineReport>,
+    /// Channel counters (per-stream sent/dropped/delivered, depth HWM).
+    pub channel: ChannelStats,
+    /// The collector's self-metrics.
+    pub metrics: Arc<FleetMetrics>,
+    /// Collector wall-clock time, for rate reporting.
+    pub elapsed: std::time::Duration,
+}
+
+impl FleetOutcome {
+    /// Renders the self-metrics table.
+    pub fn metrics_table(&self) -> String {
+        self.metrics.render(self.elapsed)
+    }
+}
+
+/// Streams one monitor's drained batches into the fleet channel.
+#[derive(Debug)]
+struct ChannelSink {
+    tx: Sender,
+}
+
+impl SampleSink for ChannelSink {
+    fn on_batch(&mut self, samples: &[Sample]) {
+        self.tx.send(samples.to_vec());
+    }
+}
+
+/// Runs fleets described by a [`FleetConfig`].
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    config: FleetConfig,
+}
+
+impl FleetRunner {
+    /// A runner for `config`.
+    pub fn new(config: FleetConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs every spec to completion, collecting samples concurrently.
+    ///
+    /// Blocks until all machine threads have exited and the channel is
+    /// fully drained.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Machine`] for the first machine whose monitor
+    /// failed or whose thread panicked (all threads are joined first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn run(&self, specs: Vec<MachineSpec>) -> Result<FleetOutcome, FleetError> {
+        assert!(!specs.is_empty(), "fleet needs at least one machine");
+        let n = specs.len();
+        let (mut senders, receiver) =
+            bounded(n, self.config.channel_capacity, self.config.backpressure);
+        let metrics = Arc::new(FleetMetrics::new());
+        let mut store = FleetStore::new(n, self.config.events.clone(), self.config.shard_capacity);
+
+        let started = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+        // Sender i goes to spec i: stream indices equal spec order.
+        let mut senders_iter = senders.drain(..);
+        for spec in specs {
+            let tx = senders_iter.next().expect("one sender per spec");
+            let monitor =
+                Monitor::new(&self.config.events, self.config.period).tuning(self.config.tuning);
+            let machine_config = self.config.machine_config;
+            let label = spec.label.clone();
+            let handle = std::thread::spawn(move || {
+                let mut machine = Machine::new(machine_config(spec.seed));
+                let workload = (spec.workload)(spec.seed);
+                let outcome = monitor
+                    .run_with_sink(
+                        &mut machine,
+                        &spec.label,
+                        workload,
+                        Box::new(ChannelSink { tx }),
+                    )
+                    .map_err(|e| e.to_string())?;
+                Ok::<MachineReport, String>(MachineReport {
+                    label: spec.label,
+                    seed: spec.seed,
+                    outcome,
+                })
+            });
+            handles.push((label, handle));
+        }
+        drop(senders_iter);
+
+        // Collector loop: drain until every sender (inside the machine
+        // workloads) has dropped and the queue is empty.
+        while let Some(batch) = receiver.recv() {
+            let t0 = Instant::now();
+            let (_, rejected) = store.ingest(batch.machine, &batch.samples);
+            let latency = t0.elapsed().as_nanos() as u64;
+            metrics.record_batch(batch.samples.len() as u64, latency);
+            if rejected > 0 {
+                metrics.add_rejected(rejected);
+            }
+        }
+        let elapsed = started.elapsed();
+
+        let mut machines = Vec::with_capacity(n);
+        let mut first_error = None;
+        for (label, handle) in handles {
+            match handle.join() {
+                Ok(Ok(report)) => machines.push(report),
+                Ok(Err(error)) => {
+                    first_error.get_or_insert(FleetError::Machine { label, error });
+                }
+                Err(_) => {
+                    first_error.get_or_insert(FleetError::Machine {
+                        label,
+                        error: "machine thread panicked".to_string(),
+                    });
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+
+        let channel = receiver.stats();
+        metrics.add_dropped(channel.total_dropped());
+        metrics.observe_depth_hwm(channel.depth_high_water as u64);
+
+        Ok(FleetOutcome {
+            store,
+            machines,
+            channel,
+            metrics,
+            elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Lane;
+    use crate::store::Window;
+    use ksim::{FixedBlocks, WorkBlock};
+    use pmu::EventCounts;
+
+    fn quick_config() -> FleetConfig {
+        FleetConfig::new(
+            &[HwEvent::LlcReference, HwEvent::LlcMiss],
+            Duration::from_micros(500),
+        )
+        .tuning(KlebTuning::microarchitectural())
+        .machine(MachineConfig::test_tiny)
+    }
+
+    fn spec(i: u64) -> MachineSpec {
+        MachineSpec::new(format!("m{i}"), 40 + i, |seed| {
+            Box::new(FixedBlocks::new(
+                2_000 + (seed % 7) * 100,
+                WorkBlock::compute(1_000, 2_670)
+                    .with_events(EventCounts::new().with(HwEvent::LlcMiss, 3)),
+            ))
+        })
+    }
+
+    #[test]
+    fn fleet_run_collects_every_machines_samples() {
+        let outcome = FleetRunner::new(quick_config())
+            .run((0..4).map(spec).collect())
+            .unwrap();
+        assert_eq!(outcome.machines.len(), 4);
+        assert_eq!(outcome.channel.total_dropped(), 0, "Block is lossless");
+        for (m, report) in outcome.machines.iter().enumerate() {
+            // Store contents == the monitor's own sample series: nothing
+            // was lost or reordered on the way through the channel.
+            let stored: Vec<u64> = outcome
+                .store
+                .points(m, Lane::INSTRUCTIONS)
+                .map(|p| p.delta)
+                .collect();
+            let direct: Vec<u64> = report.outcome.samples.iter().map(|s| s.fixed[0]).collect();
+            assert_eq!(stored, direct, "machine {m}");
+            assert!(!stored.is_empty(), "machine {m} produced samples");
+        }
+        assert!(outcome.metrics.samples_ingested() > 0);
+        assert_eq!(
+            outcome.metrics.samples_ingested(),
+            outcome.channel.total_sent()
+        );
+        assert!(outcome.store.fleet_window_sum(Lane::Pmc(1), Window::all()) > 0);
+    }
+
+    #[test]
+    fn failing_machine_surfaces_as_fleet_error() {
+        let mut specs: Vec<MachineSpec> = (0..2).map(spec).collect();
+        // Five events on four counters: the controller's config ioctl fails.
+        let bad = FleetConfig::new(
+            &[
+                HwEvent::Load,
+                HwEvent::Store,
+                HwEvent::BranchRetired,
+                HwEvent::BranchMiss,
+                HwEvent::LlcMiss,
+            ],
+            Duration::from_millis(1),
+        )
+        .machine(MachineConfig::test_tiny);
+        specs.truncate(2);
+        let err = FleetRunner::new(bad).run(specs).unwrap_err();
+        let FleetError::Machine { error, .. } = err;
+        assert!(error.contains("controller"), "got: {error}");
+    }
+
+    #[test]
+    fn metrics_table_renders_after_a_run() {
+        let outcome = FleetRunner::new(quick_config()).run(vec![spec(0)]).unwrap();
+        let table = outcome.metrics_table();
+        assert!(table.contains("samples ingested"));
+    }
+}

@@ -26,7 +26,7 @@ use pmu::HwEvent;
 use ksim::{CoreId, Duration, Machine, ProcessInfo, SimError, Workload};
 
 use crate::config::{ModuleStatus, MonitorConfig};
-use crate::controller::{shared_report, Controller};
+use crate::controller::{shared_report, Controller, SampleSink};
 use crate::module::{KlebModule, KlebTuning};
 use crate::sample::Sample;
 
@@ -175,7 +175,25 @@ impl Monitor {
         workload: Box<dyn Workload>,
     ) -> Result<MonitorOutcome, MonitorError> {
         let target = machine.spawn_suspended(name, self.target_core, workload);
-        self.drive(machine, target, true)
+        self.drive(machine, target, true, None)
+    }
+
+    /// Like [`Monitor::run`], but streams every drained batch into `sink`
+    /// as monitoring progresses — the fleet-telemetry entry point. The
+    /// returned outcome still carries the full sample series.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Monitor::run`].
+    pub fn run_with_sink(
+        &self,
+        machine: &mut Machine,
+        name: &str,
+        workload: Box<dyn Workload>,
+        sink: Box<dyn SampleSink>,
+    ) -> Result<MonitorOutcome, MonitorError> {
+        let target = machine.spawn_suspended(name, self.target_core, workload);
+        self.drive(machine, target, true, Some(sink))
     }
 
     /// Attaches to an **already running** process and monitors it until it
@@ -193,7 +211,7 @@ impl Monitor {
         machine: &mut Machine,
         target: ksim::Pid,
     ) -> Result<MonitorOutcome, MonitorError> {
-        self.drive(machine, target, false)
+        self.drive(machine, target, false, None)
     }
 
     fn drive(
@@ -201,6 +219,7 @@ impl Monitor {
         machine: &mut Machine,
         target: ksim::Pid,
         resume_target: bool,
+        sink: Option<Box<dyn SampleSink>>,
     ) -> Result<MonitorOutcome, MonitorError> {
         let device = machine.register_device(Box::new(KlebModule::with_tuning(self.tuning)));
         let mut cfg = MonitorConfig::new(target, &self.events, self.period);
@@ -215,6 +234,9 @@ impl Monitor {
         let mut controller_workload = Controller::new(device, cfg, target, drain, report.clone());
         if !resume_target {
             controller_workload = controller_workload.attach_running();
+        }
+        if let Some(sink) = sink {
+            controller_workload = controller_workload.with_sink(sink);
         }
         let controller = machine.spawn(
             "kleb-ctl",

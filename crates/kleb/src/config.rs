@@ -6,7 +6,6 @@
 //! are numbered in the `0x4B__` ("K") range.
 
 use pmu::HwEvent;
-use serde::{Deserialize, Serialize};
 
 use ksim::{Duration, Pid};
 
@@ -57,7 +56,7 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Everything the kernel module needs to monitor one process tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonitorConfig {
     /// Initial PID to monitor.
     pub target: u32,
@@ -77,13 +76,31 @@ pub struct MonitorConfig {
 
 /// A serializable `(event, umask)` pair — what actually crosses the
 /// user/kernel boundary (the kernel does not know Rust enums).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HwEventCode {
     /// Primary event code.
     pub event: u8,
     /// Unit mask.
     pub umask: u8,
 }
+
+jsonlite::json_struct!(MonitorConfig {
+    target,
+    events,
+    period_ns,
+    track_children,
+    buffer_capacity,
+    count_kernel,
+});
+jsonlite::json_struct!(HwEventCode { event, umask });
+jsonlite::json_struct!(ModuleStatus {
+    target_alive,
+    buffered,
+    samples_taken,
+    samples_dropped,
+    pauses,
+    paused,
+});
 
 impl From<HwEvent> for HwEventCode {
     fn from(e: HwEvent) -> Self {
@@ -151,7 +168,7 @@ impl MonitorConfig {
 
     /// Marshals for the ioctl payload.
     pub fn to_payload(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("config serializes")
+        jsonlite::to_vec(self).expect("config serializes")
     }
 
     /// Unmarshals from an ioctl payload.
@@ -160,12 +177,12 @@ impl MonitorConfig {
     ///
     /// Returns `None` on malformed payloads (the module answers `-EINVAL`).
     pub fn from_payload(payload: &[u8]) -> Option<Self> {
-        serde_json::from_slice(payload).ok()
+        jsonlite::from_slice(payload).ok()
     }
 }
 
 /// Status snapshot returned by [`IOCTL_STATUS`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ModuleStatus {
     /// Whether the target (or any tracked process) is still alive.
     pub target_alive: bool,
@@ -186,12 +203,12 @@ pub struct ModuleStatus {
 impl ModuleStatus {
     /// Marshals for the ioctl out-payload.
     pub fn to_payload(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("status serializes")
+        jsonlite::to_vec(self).expect("status serializes")
     }
 
     /// Unmarshals from an ioctl out-payload.
     pub fn from_payload(payload: &[u8]) -> Option<Self> {
-        serde_json::from_slice(payload).ok()
+        jsonlite::from_slice(payload).ok()
     }
 }
 

@@ -20,6 +20,21 @@ use crate::config::{
 };
 use crate::sample::{Sample, RECORD_BYTES};
 
+/// Receives every drained sample batch as it leaves the kernel buffer,
+/// before it lands in the [`ControllerReport`].
+///
+/// This is the streaming hook fleet-scale consumers attach to: a sink sees
+/// batches in drain order, exactly once, on the thread driving the
+/// simulation. Implementations must be cheap — they run inside the
+/// controller's logging step.
+pub trait SampleSink: Send + std::fmt::Debug {
+    /// Called once per non-empty drain with the decoded records.
+    fn on_batch(&mut self, samples: &[Sample]);
+
+    /// Called once after the final drain, when no more batches will follow.
+    fn on_complete(&mut self) {}
+}
+
 /// Shared result channel between the controller process and the host code
 /// that spawned it.
 #[derive(Debug, Default)]
@@ -75,6 +90,7 @@ pub struct Controller {
     resume_target: bool,
     drain_interval: Duration,
     report: SharedReport,
+    sink: Option<Box<dyn SampleSink>>,
     phase: Phase,
 }
 
@@ -96,8 +112,15 @@ impl Controller {
             resume_target: true,
             drain_interval,
             report,
+            sink: None,
             phase: Phase::Config,
         }
+    }
+
+    /// Streams every drained batch into `sink` (in addition to the report).
+    pub fn with_sink(mut self, sink: Box<dyn SampleSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Disables the wake-up step (for targets that are already running,
@@ -187,6 +210,11 @@ impl Workload for Controller {
                     let drained = if let ItemResult::Syscall { payload, .. } = prev {
                         let samples = Sample::decode_all(payload);
                         let n = samples.len();
+                        if n > 0 {
+                            if let Some(sink) = &mut self.sink {
+                                sink.on_batch(&samples);
+                            }
+                        }
                         let mut report = self.report.lock().unwrap();
                         report.samples.extend(samples);
                         report.drains += 1;
@@ -233,6 +261,11 @@ impl Workload for Controller {
                     if let ItemResult::Syscall { payload, retval } = prev {
                         if *retval > 0 {
                             let samples = Sample::decode_all(payload);
+                            if !samples.is_empty() {
+                                if let Some(sink) = &mut self.sink {
+                                    sink.on_batch(&samples);
+                                }
+                            }
                             let mut report = self.report.lock().unwrap();
                             report.samples.extend(samples);
                             report.drains += 1;
@@ -252,6 +285,9 @@ impl Workload for Controller {
                         if let Some(s) = ModuleStatus::from_payload(payload) {
                             self.report.lock().unwrap().final_status = Some(s);
                         }
+                    }
+                    if let Some(sink) = &mut self.sink {
+                        sink.on_complete();
                     }
                     return None;
                 }

@@ -3,6 +3,22 @@
 use proptest::prelude::*;
 
 use kleb::{MonitorConfig, Sample, RECORD_BYTES};
+use pmu::HwEvent;
+
+/// Up to four distinct programmable events, in an arbitrary order.
+fn arb_events() -> impl Strategy<Value = Vec<HwEvent>> {
+    proptest::collection::vec(0usize..pmu::event::ALL_EVENTS.len(), 0..8).prop_map(|indices| {
+        let mut events: Vec<HwEvent> = Vec::new();
+        for i in indices {
+            let e = pmu::event::ALL_EVENTS[i];
+            if !events.contains(&e) {
+                events.push(e);
+            }
+        }
+        events.truncate(pmu::NUM_PROGRAMMABLE);
+        events
+    })
+}
 
 fn arb_sample() -> impl Strategy<Value = Sample> {
     (
@@ -66,5 +82,29 @@ proptest! {
         cfg.count_kernel = count_kernel;
         let back = MonitorConfig::from_payload(&cfg.to_payload());
         prop_assert_eq!(back, Some(cfg));
+    }
+
+    /// The controller's CSV log round-trips: `parse_csv(render_csv(s, e))`
+    /// recovers the events and every emitted field. The log only carries
+    /// the first `events.len()` PMC columns, so unlogged PMC slots are
+    /// zeroed before comparison — they are dead by construction.
+    #[test]
+    fn csv_log_roundtrip(
+        raw in proptest::collection::vec(arb_sample(), 0..20),
+        events in arb_events(),
+    ) {
+        let samples: Vec<Sample> = raw
+            .into_iter()
+            .map(|mut s| {
+                for slot in events.len()..pmu::NUM_PROGRAMMABLE {
+                    s.pmc[slot] = 0;
+                }
+                s
+            })
+            .collect();
+        let csv = kleb::log::render_csv(&samples, &events);
+        let (back_events, back) = kleb::log::parse_csv(&csv).expect("rendered log must parse");
+        prop_assert_eq!(back_events, events);
+        prop_assert_eq!(back, samples);
     }
 }

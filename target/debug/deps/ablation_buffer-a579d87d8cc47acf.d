@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffer-a579d87d8cc47acf.d: crates/bench/src/bin/ablation_buffer.rs
+
+/root/repo/target/debug/deps/ablation_buffer-a579d87d8cc47acf: crates/bench/src/bin/ablation_buffer.rs
+
+crates/bench/src/bin/ablation_buffer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_buffer-df8e142d0ec73658.d: crates/bench/src/bin/ablation_buffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_buffer-df8e142d0ec73658.rmeta: crates/bench/src/bin/ablation_buffer.rs Cargo.toml
+
+crates/bench/src/bin/ablation_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

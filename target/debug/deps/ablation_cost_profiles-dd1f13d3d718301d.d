@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cost_profiles-dd1f13d3d718301d.d: crates/bench/src/bin/ablation_cost_profiles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cost_profiles-dd1f13d3d718301d.rmeta: crates/bench/src/bin/ablation_cost_profiles.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cost_profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

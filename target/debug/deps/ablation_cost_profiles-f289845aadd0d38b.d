@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cost_profiles-f289845aadd0d38b.d: crates/bench/src/bin/ablation_cost_profiles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cost_profiles-f289845aadd0d38b.rmeta: crates/bench/src/bin/ablation_cost_profiles.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cost_profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cost_profiles-f9f964d790f95533.d: crates/bench/src/bin/ablation_cost_profiles.rs
+
+/root/repo/target/debug/deps/ablation_cost_profiles-f9f964d790f95533: crates/bench/src/bin/ablation_cost_profiles.rs
+
+crates/bench/src/bin/ablation_cost_profiles.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_jitter-7a3a73c621cd65d8.d: crates/bench/src/bin/ablation_jitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_jitter-7a3a73c621cd65d8.rmeta: crates/bench/src/bin/ablation_jitter.rs Cargo.toml
+
+crates/bench/src/bin/ablation_jitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

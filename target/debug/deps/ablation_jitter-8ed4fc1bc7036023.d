@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_jitter-8ed4fc1bc7036023.d: crates/bench/src/bin/ablation_jitter.rs
+
+/root/repo/target/debug/deps/ablation_jitter-8ed4fc1bc7036023: crates/bench/src/bin/ablation_jitter.rs
+
+crates/bench/src/bin/ablation_jitter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_jitter-b3548f7dae29b679.d: crates/bench/src/bin/ablation_jitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_jitter-b3548f7dae29b679.rmeta: crates/bench/src/bin/ablation_jitter.rs Cargo.toml
+
+crates/bench/src/bin/ablation_jitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_multiplex-e2fe52c63064491d.d: crates/bench/src/bin/ablation_multiplex.rs
+
+/root/repo/target/debug/deps/ablation_multiplex-e2fe52c63064491d: crates/bench/src/bin/ablation_multiplex.rs
+
+crates/bench/src/bin/ablation_multiplex.rs:

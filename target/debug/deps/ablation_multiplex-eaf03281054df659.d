@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_multiplex-eaf03281054df659.d: crates/bench/src/bin/ablation_multiplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_multiplex-eaf03281054df659.rmeta: crates/bench/src/bin/ablation_multiplex.rs Cargo.toml
+
+crates/bench/src/bin/ablation_multiplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rate_sweep-629995b42d40d7fc.d: crates/bench/src/bin/ablation_rate_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rate_sweep-629995b42d40d7fc.rmeta: crates/bench/src/bin/ablation_rate_sweep.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rate_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rate_sweep-92dc469486297116.d: crates/bench/src/bin/ablation_rate_sweep.rs
+
+/root/repo/target/debug/deps/ablation_rate_sweep-92dc469486297116: crates/bench/src/bin/ablation_rate_sweep.rs
+
+crates/bench/src/bin/ablation_rate_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rate_sweep-b9e4d96c5aaf4345.d: crates/bench/src/bin/ablation_rate_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rate_sweep-b9e4d96c5aaf4345.rmeta: crates/bench/src/bin/ablation_rate_sweep.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rate_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

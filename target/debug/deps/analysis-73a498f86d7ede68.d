@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/analysis-73a498f86d7ede68.d: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/debug/deps/libanalysis-73a498f86d7ede68.rlib: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/debug/deps/libanalysis-73a498f86d7ede68.rmeta: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/detector.rs:
+crates/analysis/src/metrics.rs:
+crates/analysis/src/phases.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeseries.rs:

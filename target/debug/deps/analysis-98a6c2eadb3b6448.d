@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/analysis-98a6c2eadb3b6448.d: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-98a6c2eadb3b6448.rmeta: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/detector.rs:
+crates/analysis/src/metrics.rs:
+crates/analysis/src/phases.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

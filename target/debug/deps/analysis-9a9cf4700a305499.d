@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/analysis-9a9cf4700a305499.d: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/debug/deps/analysis-9a9cf4700a305499: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/detector.rs:
+crates/analysis/src/metrics.rs:
+crates/analysis/src/phases.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeseries.rs:

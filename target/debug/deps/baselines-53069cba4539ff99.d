@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/baselines-53069cba4539ff99.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs
+
+/root/repo/target/debug/deps/baselines-53069cba4539ff99: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/kleb_tool.rs:
+crates/baselines/src/limit.rs:
+crates/baselines/src/papi.rs:
+crates/baselines/src/perf_kernel.rs:
+crates/baselines/src/perf_record.rs:
+crates/baselines/src/perf_stat.rs:

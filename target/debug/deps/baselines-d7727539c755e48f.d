@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/baselines-d7727539c755e48f.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-d7727539c755e48f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/kleb_tool.rs:
+crates/baselines/src/limit.rs:
+crates/baselines/src/papi.rs:
+crates/baselines/src/perf_kernel.rs:
+crates/baselines/src/perf_record.rs:
+crates/baselines/src/perf_stat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

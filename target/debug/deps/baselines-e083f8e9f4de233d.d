@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/baselines-e083f8e9f4de233d.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs
+
+/root/repo/target/debug/deps/libbaselines-e083f8e9f4de233d.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs
+
+/root/repo/target/debug/deps/libbaselines-e083f8e9f4de233d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/kleb_tool.rs:
+crates/baselines/src/limit.rs:
+crates/baselines/src/papi.rs:
+crates/baselines/src/perf_kernel.rs:
+crates/baselines/src/perf_record.rs:
+crates/baselines/src/perf_stat.rs:

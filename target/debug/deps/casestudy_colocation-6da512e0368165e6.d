@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casestudy_colocation-6da512e0368165e6.d: crates/bench/src/bin/casestudy_colocation.rs
+
+/root/repo/target/debug/deps/casestudy_colocation-6da512e0368165e6: crates/bench/src/bin/casestudy_colocation.rs
+
+crates/bench/src/bin/casestudy_colocation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/casestudy_colocation-c8701db1fab38a8c.d: crates/bench/src/bin/casestudy_colocation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasestudy_colocation-c8701db1fab38a8c.rmeta: crates/bench/src/bin/casestudy_colocation.rs Cargo.toml
+
+crates/bench/src/bin/casestudy_colocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/casestudy_heartbleed-54a0656c483dceae.d: crates/bench/src/bin/casestudy_heartbleed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasestudy_heartbleed-54a0656c483dceae.rmeta: crates/bench/src/bin/casestudy_heartbleed.rs Cargo.toml
+
+crates/bench/src/bin/casestudy_heartbleed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casestudy_heartbleed-ba66074b8ab0affc.d: crates/bench/src/bin/casestudy_heartbleed.rs
+
+/root/repo/target/debug/deps/casestudy_heartbleed-ba66074b8ab0affc: crates/bench/src/bin/casestudy_heartbleed.rs
+
+crates/bench/src/bin/casestudy_heartbleed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6a3ffcadff43985c.d: crates/fleet/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6a3ffcadff43985c: crates/fleet/tests/determinism.rs
+
+crates/fleet/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-a651e703f559b495.d: crates/fleet/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-a651e703f559b495.rmeta: crates/fleet/tests/determinism.rs Cargo.toml
+
+crates/fleet/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

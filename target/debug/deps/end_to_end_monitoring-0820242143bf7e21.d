@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_monitoring-0820242143bf7e21.d: tests/end_to_end_monitoring.rs
+
+/root/repo/target/debug/deps/end_to_end_monitoring-0820242143bf7e21: tests/end_to_end_monitoring.rs
+
+tests/end_to_end_monitoring.rs:

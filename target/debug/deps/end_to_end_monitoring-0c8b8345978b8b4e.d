@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_monitoring-0c8b8345978b8b4e.d: tests/end_to_end_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_monitoring-0c8b8345978b8b4e.rmeta: tests/end_to_end_monitoring.rs Cargo.toml
+
+tests/end_to_end_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

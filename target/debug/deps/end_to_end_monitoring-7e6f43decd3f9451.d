@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_monitoring-7e6f43decd3f9451.d: tests/end_to_end_monitoring.rs
+
+/root/repo/target/debug/deps/end_to_end_monitoring-7e6f43decd3f9451: tests/end_to_end_monitoring.rs
+
+tests/end_to_end_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_linpack_phases-2bb4bcbe91b73e9f.d: crates/bench/src/bin/fig4_linpack_phases.rs
+
+/root/repo/target/debug/deps/fig4_linpack_phases-2bb4bcbe91b73e9f: crates/bench/src/bin/fig4_linpack_phases.rs
+
+crates/bench/src/bin/fig4_linpack_phases.rs:

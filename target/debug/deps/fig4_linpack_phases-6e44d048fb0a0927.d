@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_linpack_phases-6e44d048fb0a0927.d: crates/bench/src/bin/fig4_linpack_phases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_linpack_phases-6e44d048fb0a0927.rmeta: crates/bench/src/bin/fig4_linpack_phases.rs Cargo.toml
+
+crates/bench/src/bin/fig4_linpack_phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_docker_mpki-456468ba00db2ef7.d: crates/bench/src/bin/fig5_docker_mpki.rs
+
+/root/repo/target/debug/deps/fig5_docker_mpki-456468ba00db2ef7: crates/bench/src/bin/fig5_docker_mpki.rs
+
+crates/bench/src/bin/fig5_docker_mpki.rs:

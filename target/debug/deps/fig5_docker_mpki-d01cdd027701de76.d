@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_docker_mpki-d01cdd027701de76.d: crates/bench/src/bin/fig5_docker_mpki.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_docker_mpki-d01cdd027701de76.rmeta: crates/bench/src/bin/fig5_docker_mpki.rs Cargo.toml
+
+crates/bench/src/bin/fig5_docker_mpki.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_meltdown_avg-4ae604c0af7bfb09.d: crates/bench/src/bin/fig6_meltdown_avg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_meltdown_avg-4ae604c0af7bfb09.rmeta: crates/bench/src/bin/fig6_meltdown_avg.rs Cargo.toml
+
+crates/bench/src/bin/fig6_meltdown_avg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

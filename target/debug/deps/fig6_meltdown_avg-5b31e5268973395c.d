@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_meltdown_avg-5b31e5268973395c.d: crates/bench/src/bin/fig6_meltdown_avg.rs
+
+/root/repo/target/debug/deps/fig6_meltdown_avg-5b31e5268973395c: crates/bench/src/bin/fig6_meltdown_avg.rs
+
+crates/bench/src/bin/fig6_meltdown_avg.rs:

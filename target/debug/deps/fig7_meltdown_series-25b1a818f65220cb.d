@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_meltdown_series-25b1a818f65220cb.d: crates/bench/src/bin/fig7_meltdown_series.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_meltdown_series-25b1a818f65220cb.rmeta: crates/bench/src/bin/fig7_meltdown_series.rs Cargo.toml
+
+crates/bench/src/bin/fig7_meltdown_series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_meltdown_series-83e43211ad60d4f0.d: crates/bench/src/bin/fig7_meltdown_series.rs
+
+/root/repo/target/debug/deps/fig7_meltdown_series-83e43211ad60d4f0: crates/bench/src/bin/fig7_meltdown_series.rs
+
+crates/bench/src/bin/fig7_meltdown_series.rs:

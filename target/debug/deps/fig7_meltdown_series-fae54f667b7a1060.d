@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_meltdown_series-fae54f667b7a1060.d: crates/bench/src/bin/fig7_meltdown_series.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_meltdown_series-fae54f667b7a1060.rmeta: crates/bench/src/bin/fig7_meltdown_series.rs Cargo.toml
+
+crates/bench/src/bin/fig7_meltdown_series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

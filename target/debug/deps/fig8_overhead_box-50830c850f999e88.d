@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_overhead_box-50830c850f999e88.d: crates/bench/src/bin/fig8_overhead_box.rs
+
+/root/repo/target/debug/deps/fig8_overhead_box-50830c850f999e88: crates/bench/src/bin/fig8_overhead_box.rs
+
+crates/bench/src/bin/fig8_overhead_box.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_overhead_box-ea5dede2b00a6f32.d: crates/bench/src/bin/fig8_overhead_box.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_overhead_box-ea5dede2b00a6f32.rmeta: crates/bench/src/bin/fig8_overhead_box.rs Cargo.toml
+
+crates/bench/src/bin/fig8_overhead_box.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_accuracy-89c78b1ec1d2edf3.d: crates/bench/src/bin/fig9_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_accuracy-89c78b1ec1d2edf3.rmeta: crates/bench/src/bin/fig9_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig9_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_accuracy-edae19e50381fc44.d: crates/bench/src/bin/fig9_accuracy.rs
+
+/root/repo/target/debug/deps/fig9_accuracy-edae19e50381fc44: crates/bench/src/bin/fig9_accuracy.rs
+
+crates/bench/src/bin/fig9_accuracy.rs:

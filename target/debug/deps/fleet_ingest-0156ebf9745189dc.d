@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_ingest-0156ebf9745189dc.d: crates/bench/benches/fleet_ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_ingest-0156ebf9745189dc.rmeta: crates/bench/benches/fleet_ingest.rs Cargo.toml
+
+crates/bench/benches/fleet_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_scale-1f18164c4459e15e.d: crates/bench/src/bin/fleet_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_scale-1f18164c4459e15e.rmeta: crates/bench/src/bin/fleet_scale.rs Cargo.toml
+
+crates/bench/src/bin/fleet_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

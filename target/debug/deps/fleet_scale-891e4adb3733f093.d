@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_scale-891e4adb3733f093.d: crates/bench/src/bin/fleet_scale.rs
+
+/root/repo/target/debug/deps/fleet_scale-891e4adb3733f093: crates/bench/src/bin/fleet_scale.rs
+
+crates/bench/src/bin/fleet_scale.rs:

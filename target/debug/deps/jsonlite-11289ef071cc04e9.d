@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jsonlite-11289ef071cc04e9.d: compat/jsonlite/src/lib.rs
+
+/root/repo/target/debug/deps/jsonlite-11289ef071cc04e9: compat/jsonlite/src/lib.rs
+
+compat/jsonlite/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jsonlite-2d42ba2adbba9b31.d: compat/jsonlite/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjsonlite-2d42ba2adbba9b31.rmeta: compat/jsonlite/src/lib.rs Cargo.toml
+
+compat/jsonlite/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jsonlite-525a1c0e59cb04fd.d: compat/jsonlite/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjsonlite-525a1c0e59cb04fd.rmeta: compat/jsonlite/src/lib.rs Cargo.toml
+
+compat/jsonlite/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jsonlite-7898dede1966f33d.d: compat/jsonlite/src/lib.rs
+
+/root/repo/target/debug/deps/libjsonlite-7898dede1966f33d.rlib: compat/jsonlite/src/lib.rs
+
+/root/repo/target/debug/deps/libjsonlite-7898dede1966f33d.rmeta: compat/jsonlite/src/lib.rs
+
+compat/jsonlite/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/kleb-03819c6c915ec11d.d: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkleb-03819c6c915ec11d.rmeta: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs Cargo.toml
+
+crates/kleb/src/lib.rs:
+crates/kleb/src/api.rs:
+crates/kleb/src/config.rs:
+crates/kleb/src/controller.rs:
+crates/kleb/src/log.rs:
+crates/kleb/src/module.rs:
+crates/kleb/src/sample.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/kleb-92c6a89bad4d28e0.d: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs
+
+/root/repo/target/debug/deps/libkleb-92c6a89bad4d28e0.rlib: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs
+
+/root/repo/target/debug/deps/libkleb-92c6a89bad4d28e0.rmeta: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs
+
+crates/kleb/src/lib.rs:
+crates/kleb/src/api.rs:
+crates/kleb/src/config.rs:
+crates/kleb/src/controller.rs:
+crates/kleb/src/log.rs:
+crates/kleb/src/module.rs:
+crates/kleb/src/sample.rs:

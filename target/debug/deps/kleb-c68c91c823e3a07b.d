@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kleb-c68c91c823e3a07b.d: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs
+
+/root/repo/target/debug/deps/kleb-c68c91c823e3a07b: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs
+
+crates/kleb/src/lib.rs:
+crates/kleb/src/api.rs:
+crates/kleb/src/config.rs:
+crates/kleb/src/controller.rs:
+crates/kleb/src/log.rs:
+crates/kleb/src/module.rs:
+crates/kleb/src/sample.rs:

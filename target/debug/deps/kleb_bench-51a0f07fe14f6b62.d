@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kleb_bench-51a0f07fe14f6b62.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/libkleb_bench-51a0f07fe14f6b62.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/libkleb_bench-51a0f07fe14f6b62.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/scale.rs:

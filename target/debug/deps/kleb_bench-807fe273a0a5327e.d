@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kleb_bench-807fe273a0a5327e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkleb_bench-807fe273a0a5327e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

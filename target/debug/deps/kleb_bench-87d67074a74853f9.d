@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kleb_bench-87d67074a74853f9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkleb_bench-87d67074a74853f9.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

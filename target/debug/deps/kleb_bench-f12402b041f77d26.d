@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kleb_bench-f12402b041f77d26.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/kleb_bench-f12402b041f77d26: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/scale.rs:

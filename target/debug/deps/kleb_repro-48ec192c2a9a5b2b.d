@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kleb_repro-48ec192c2a9a5b2b.d: src/lib.rs
+
+/root/repo/target/debug/deps/kleb_repro-48ec192c2a9a5b2b: src/lib.rs
+
+src/lib.rs:

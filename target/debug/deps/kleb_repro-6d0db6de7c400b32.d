@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kleb_repro-6d0db6de7c400b32.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkleb_repro-6d0db6de7c400b32.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libkleb_repro-6d0db6de7c400b32.rmeta: src/lib.rs
+
+src/lib.rs:

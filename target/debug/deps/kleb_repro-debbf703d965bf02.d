@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kleb_repro-debbf703d965bf02.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkleb_repro-debbf703d965bf02.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libkleb_repro-debbf703d965bf02.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kleb_repro-e0eff411c5e3bcdf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkleb_repro-e0eff411c5e3bcdf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kleb_repro-ea6b6a1c16cf4ed9.d: src/lib.rs
+
+/root/repo/target/debug/deps/kleb_repro-ea6b6a1c16cf4ed9: src/lib.rs
+
+src/lib.rs:

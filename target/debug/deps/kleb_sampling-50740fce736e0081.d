@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kleb_sampling-50740fce736e0081.d: crates/bench/benches/kleb_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkleb_sampling-50740fce736e0081.rmeta: crates/bench/benches/kleb_sampling.rs Cargo.toml
+
+crates/bench/benches/kleb_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

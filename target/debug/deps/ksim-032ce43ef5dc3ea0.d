@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ksim-032ce43ef5dc3ea0.d: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libksim-032ce43ef5dc3ea0.rmeta: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs Cargo.toml
+
+crates/ksim/src/lib.rs:
+crates/ksim/src/cost.rs:
+crates/ksim/src/device.rs:
+crates/ksim/src/event.rs:
+crates/ksim/src/hrtimer.rs:
+crates/ksim/src/machine.rs:
+crates/ksim/src/process.rs:
+crates/ksim/src/time.rs:
+crates/ksim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

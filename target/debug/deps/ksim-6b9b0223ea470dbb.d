@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ksim-6b9b0223ea470dbb.d: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs
+
+/root/repo/target/debug/deps/libksim-6b9b0223ea470dbb.rlib: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs
+
+/root/repo/target/debug/deps/libksim-6b9b0223ea470dbb.rmeta: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs
+
+crates/ksim/src/lib.rs:
+crates/ksim/src/cost.rs:
+crates/ksim/src/device.rs:
+crates/ksim/src/event.rs:
+crates/ksim/src/hrtimer.rs:
+crates/ksim/src/machine.rs:
+crates/ksim/src/process.rs:
+crates/ksim/src/time.rs:
+crates/ksim/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ksim-b0177f65221bff04.d: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs
+
+/root/repo/target/debug/deps/ksim-b0177f65221bff04: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs
+
+crates/ksim/src/lib.rs:
+crates/ksim/src/cost.rs:
+crates/ksim/src/device.rs:
+crates/ksim/src/event.rs:
+crates/ksim/src/hrtimer.rs:
+crates/ksim/src/machine.rs:
+crates/ksim/src/process.rs:
+crates/ksim/src/time.rs:
+crates/ksim/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_edges-547abcad4c8ddd1e.d: crates/ksim/tests/machine_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_edges-547abcad4c8ddd1e.rmeta: crates/ksim/tests/machine_edges.rs Cargo.toml
+
+crates/ksim/tests/machine_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_edges-626366f902612534.d: crates/ksim/tests/machine_edges.rs
+
+/root/repo/target/debug/deps/machine_edges-626366f902612534: crates/ksim/tests/machine_edges.rs
+
+crates/ksim/tests/machine_edges.rs:

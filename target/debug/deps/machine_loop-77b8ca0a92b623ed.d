@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_loop-77b8ca0a92b623ed.d: crates/bench/benches/machine_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_loop-77b8ca0a92b623ed.rmeta: crates/bench/benches/machine_loop.rs Cargo.toml
+
+crates/bench/benches/machine_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

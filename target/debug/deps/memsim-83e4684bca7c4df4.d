@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/memsim-83e4684bca7c4df4.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsim-83e4684bca7c4df4.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs Cargo.toml
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/memsim-a93dcb80c4f57246.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs
+
+/root/repo/target/debug/deps/libmemsim-a93dcb80c4f57246.rlib: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs
+
+/root/repo/target/debug/deps/libmemsim-a93dcb80c4f57246.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/pattern.rs:

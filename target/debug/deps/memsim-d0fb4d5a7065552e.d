@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/memsim-d0fb4d5a7065552e.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs
+
+/root/repo/target/debug/deps/memsim-d0fb4d5a7065552e: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/pattern.rs:

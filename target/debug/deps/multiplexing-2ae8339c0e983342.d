@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multiplexing-2ae8339c0e983342.d: crates/baselines/tests/multiplexing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultiplexing-2ae8339c0e983342.rmeta: crates/baselines/tests/multiplexing.rs Cargo.toml
+
+crates/baselines/tests/multiplexing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiplexing-760f12e3ee4d3a5e.d: crates/baselines/tests/multiplexing.rs
+
+/root/repo/target/debug/deps/multiplexing-760f12e3ee4d3a5e: crates/baselines/tests/multiplexing.rs
+
+crates/baselines/tests/multiplexing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-24ef38a76b3333c3.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-24ef38a76b3333c3: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-7aec10d60f129ae5.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-7aec10d60f129ae5: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pmu_ops-65c0fad5ac1ce0e4.d: crates/bench/benches/pmu_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmu_ops-65c0fad5ac1ce0e4.rmeta: crates/bench/benches/pmu_ops.rs Cargo.toml
+
+crates/bench/benches/pmu_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-08bdb64447353c9d.d: crates/kleb/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-08bdb64447353c9d.rmeta: crates/kleb/tests/properties.rs Cargo.toml
+
+crates/kleb/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-15000f0b58c56689.d: crates/kleb/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-15000f0b58c56689: crates/kleb/tests/properties.rs
+
+crates/kleb/tests/properties.rs:

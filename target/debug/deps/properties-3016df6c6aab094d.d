@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3016df6c6aab094d.d: crates/ksim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3016df6c6aab094d: crates/ksim/tests/properties.rs
+
+crates/ksim/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3d3da2d0514ab019.d: crates/pmu/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3d3da2d0514ab019.rmeta: crates/pmu/tests/properties.rs Cargo.toml
+
+crates/pmu/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-42b21b043542a3ea.d: crates/memsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-42b21b043542a3ea.rmeta: crates/memsim/tests/properties.rs Cargo.toml
+
+crates/memsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-46d4db432e30caaf.d: crates/pmu/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-46d4db432e30caaf: crates/pmu/tests/properties.rs
+
+crates/pmu/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-95b7a90509f0ca30.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-95b7a90509f0ca30: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a61a4a8b3f9dc691.d: crates/memsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a61a4a8b3f9dc691: crates/memsim/tests/properties.rs
+
+crates/memsim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c20ba1e8105bb0c6.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c20ba1e8105bb0c6: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c3a4a09d5ed156e2.d: crates/ksim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c3a4a09d5ed156e2.rmeta: crates/ksim/tests/properties.rs Cargo.toml
+
+crates/ksim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-206f19d2dd8da12d.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-206f19d2dd8da12d.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-206f19d2dd8da12d.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ed387ada284050d9.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-ed387ada284050d9: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-1b9938fe119157e9.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1b9938fe119157e9.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1b9938fe119157e9.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

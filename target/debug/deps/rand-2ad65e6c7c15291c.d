@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2ad65e6c7c15291c.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-2ad65e6c7c15291c: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

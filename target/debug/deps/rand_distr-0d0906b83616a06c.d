@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_distr-0d0906b83616a06c.d: compat/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_distr-0d0906b83616a06c.rmeta: compat/rand_distr/src/lib.rs Cargo.toml
+
+compat/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-1d48b84b63b9925a.d: compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-1d48b84b63b9925a: compat/rand_distr/src/lib.rs
+
+compat/rand_distr/src/lib.rs:

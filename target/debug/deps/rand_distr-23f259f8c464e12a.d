@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-23f259f8c464e12a.d: compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-23f259f8c464e12a.rlib: compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-23f259f8c464e12a.rmeta: compat/rand_distr/src/lib.rs
+
+compat/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_props-184b035cdb6a1212.d: crates/fleet/tests/store_props.rs
+
+/root/repo/target/debug/deps/store_props-184b035cdb6a1212: crates/fleet/tests/store_props.rs
+
+crates/fleet/tests/store_props.rs:

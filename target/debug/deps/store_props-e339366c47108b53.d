@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_props-e339366c47108b53.d: crates/fleet/tests/store_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_props-e339366c47108b53.rmeta: crates/fleet/tests/store_props.rs Cargo.toml
+
+crates/fleet/tests/store_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

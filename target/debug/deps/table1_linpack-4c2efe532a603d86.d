@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_linpack-4c2efe532a603d86.d: crates/bench/src/bin/table1_linpack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_linpack-4c2efe532a603d86.rmeta: crates/bench/src/bin/table1_linpack.rs Cargo.toml
+
+crates/bench/src/bin/table1_linpack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_linpack-a0443a20f15e7f50.d: crates/bench/src/bin/table1_linpack.rs
+
+/root/repo/target/debug/deps/table1_linpack-a0443a20f15e7f50: crates/bench/src/bin/table1_linpack.rs
+
+crates/bench/src/bin/table1_linpack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_linpack-c84dcb421422676d.d: crates/bench/src/bin/table1_linpack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_linpack-c84dcb421422676d.rmeta: crates/bench/src/bin/table1_linpack.rs Cargo.toml
+
+crates/bench/src/bin/table1_linpack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_overhead_matmul-1282bf22ddac1676.d: crates/bench/src/bin/table2_overhead_matmul.rs
+
+/root/repo/target/debug/deps/table2_overhead_matmul-1282bf22ddac1676: crates/bench/src/bin/table2_overhead_matmul.rs
+
+crates/bench/src/bin/table2_overhead_matmul.rs:

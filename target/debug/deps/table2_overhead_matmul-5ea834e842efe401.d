@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_overhead_matmul-5ea834e842efe401.d: crates/bench/src/bin/table2_overhead_matmul.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_overhead_matmul-5ea834e842efe401.rmeta: crates/bench/src/bin/table2_overhead_matmul.rs Cargo.toml
+
+crates/bench/src/bin/table2_overhead_matmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

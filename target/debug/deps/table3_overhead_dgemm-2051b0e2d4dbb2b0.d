@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_overhead_dgemm-2051b0e2d4dbb2b0.d: crates/bench/src/bin/table3_overhead_dgemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_overhead_dgemm-2051b0e2d4dbb2b0.rmeta: crates/bench/src/bin/table3_overhead_dgemm.rs Cargo.toml
+
+crates/bench/src/bin/table3_overhead_dgemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_overhead_dgemm-e922ca322799a4e4.d: crates/bench/src/bin/table3_overhead_dgemm.rs
+
+/root/repo/target/debug/deps/table3_overhead_dgemm-e922ca322799a4e4: crates/bench/src/bin/table3_overhead_dgemm.rs
+
+crates/bench/src/bin/table3_overhead_dgemm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_aws-a5d4e2de3de74d3e.d: crates/bench/src/bin/verify_aws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_aws-a5d4e2de3de74d3e.rmeta: crates/bench/src/bin/verify_aws.rs Cargo.toml
+
+crates/bench/src/bin/verify_aws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_aws-afb537e8d76ea939.d: crates/bench/src/bin/verify_aws.rs
+
+/root/repo/target/debug/deps/verify_aws-afb537e8d76ea939: crates/bench/src/bin/verify_aws.rs
+
+crates/bench/src/bin/verify_aws.rs:

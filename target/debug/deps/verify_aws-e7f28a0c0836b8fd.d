@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_aws-e7f28a0c0836b8fd.d: crates/bench/src/bin/verify_aws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_aws-e7f28a0c0836b8fd.rmeta: crates/bench/src/bin/verify_aws.rs Cargo.toml
+
+crates/bench/src/bin/verify_aws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/workloads-1c02efa792fdfcb5.d: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-1c02efa792fdfcb5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dgemm.rs:
+crates/workloads/src/docker.rs:
+crates/workloads/src/heartbleed.rs:
+crates/workloads/src/linpack.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/meltdown.rs:
+crates/workloads/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

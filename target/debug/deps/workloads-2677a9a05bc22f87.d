@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/workloads-2677a9a05bc22f87.d: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-2677a9a05bc22f87.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dgemm.rs:
+crates/workloads/src/docker.rs:
+crates/workloads/src/heartbleed.rs:
+crates/workloads/src/linpack.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/meltdown.rs:
+crates/workloads/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

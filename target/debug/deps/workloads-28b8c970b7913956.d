@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workloads-28b8c970b7913956.d: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/debug/deps/workloads-28b8c970b7913956: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dgemm.rs:
+crates/workloads/src/docker.rs:
+crates/workloads/src/heartbleed.rs:
+crates/workloads/src/linpack.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/meltdown.rs:
+crates/workloads/src/synthetic.rs:

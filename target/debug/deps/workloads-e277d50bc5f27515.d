@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/workloads-e277d50bc5f27515.d: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/debug/deps/libworkloads-e277d50bc5f27515.rlib: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/debug/deps/libworkloads-e277d50bc5f27515.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dgemm.rs:
+crates/workloads/src/docker.rs:
+crates/workloads/src/heartbleed.rs:
+crates/workloads/src/linpack.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/meltdown.rs:
+crates/workloads/src/synthetic.rs:

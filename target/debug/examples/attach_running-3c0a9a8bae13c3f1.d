@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attach_running-3c0a9a8bae13c3f1.d: examples/attach_running.rs
+
+/root/repo/target/debug/examples/attach_running-3c0a9a8bae13c3f1: examples/attach_running.rs
+
+examples/attach_running.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attach_running-593955ecd75dd07a.d: examples/attach_running.rs
+
+/root/repo/target/debug/examples/attach_running-593955ecd75dd07a: examples/attach_running.rs
+
+examples/attach_running.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attach_running-e30e3d85d3e88d98.d: examples/attach_running.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattach_running-e30e3d85d3e88d98.rmeta: examples/attach_running.rs Cargo.toml
+
+examples/attach_running.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

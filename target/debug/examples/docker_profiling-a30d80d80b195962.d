@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/docker_profiling-a30d80d80b195962.d: examples/docker_profiling.rs
+
+/root/repo/target/debug/examples/docker_profiling-a30d80d80b195962: examples/docker_profiling.rs
+
+examples/docker_profiling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/docker_profiling-e750fe81d2bb816b.d: examples/docker_profiling.rs
+
+/root/repo/target/debug/examples/docker_profiling-e750fe81d2bb816b: examples/docker_profiling.rs
+
+examples/docker_profiling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/docker_profiling-fce3ea871e6541d5.d: examples/docker_profiling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdocker_profiling-fce3ea871e6541d5.rmeta: examples/docker_profiling.rs Cargo.toml
+
+examples/docker_profiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_monitoring-3e727265ee0b2266.d: examples/fleet_monitoring.rs
+
+/root/repo/target/debug/examples/fleet_monitoring-3e727265ee0b2266: examples/fleet_monitoring.rs
+
+examples/fleet_monitoring.rs:

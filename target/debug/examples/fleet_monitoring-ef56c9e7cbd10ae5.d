@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_monitoring-ef56c9e7cbd10ae5.d: examples/fleet_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_monitoring-ef56c9e7cbd10ae5.rmeta: examples/fleet_monitoring.rs Cargo.toml
+
+examples/fleet_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/meltdown_detect-b9a11364b29cfe4d.d: examples/meltdown_detect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmeltdown_detect-b9a11364b29cfe4d.rmeta: examples/meltdown_detect.rs Cargo.toml
+
+examples/meltdown_detect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/meltdown_detect-c078ef606328bfe3.d: examples/meltdown_detect.rs
+
+/root/repo/target/debug/examples/meltdown_detect-c078ef606328bfe3: examples/meltdown_detect.rs
+
+examples/meltdown_detect.rs:

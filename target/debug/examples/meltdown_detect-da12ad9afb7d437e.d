@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/meltdown_detect-da12ad9afb7d437e.d: examples/meltdown_detect.rs
+
+/root/repo/target/debug/examples/meltdown_detect-da12ad9afb7d437e: examples/meltdown_detect.rs
+
+examples/meltdown_detect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overhead_comparison-ce9ff2edd7f5539a.d: examples/overhead_comparison.rs
+
+/root/repo/target/debug/examples/overhead_comparison-ce9ff2edd7f5539a: examples/overhead_comparison.rs
+
+examples/overhead_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overhead_comparison-ee4850d949beb648.d: examples/overhead_comparison.rs
+
+/root/repo/target/debug/examples/overhead_comparison-ee4850d949beb648: examples/overhead_comparison.rs
+
+examples/overhead_comparison.rs:

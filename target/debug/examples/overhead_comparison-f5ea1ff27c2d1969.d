@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/overhead_comparison-f5ea1ff27c2d1969.d: examples/overhead_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboverhead_comparison-f5ea1ff27c2d1969.rmeta: examples/overhead_comparison.rs Cargo.toml
+
+examples/overhead_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

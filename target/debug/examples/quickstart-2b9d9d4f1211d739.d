@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2b9d9d4f1211d739.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2b9d9d4f1211d739: examples/quickstart.rs
+
+examples/quickstart.rs:

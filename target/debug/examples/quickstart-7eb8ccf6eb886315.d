@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7eb8ccf6eb886315.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7eb8ccf6eb886315: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rate_sweep-5f8f48885e0ae006.d: examples/rate_sweep.rs
+
+/root/repo/target/debug/examples/rate_sweep-5f8f48885e0ae006: examples/rate_sweep.rs
+
+examples/rate_sweep.rs:

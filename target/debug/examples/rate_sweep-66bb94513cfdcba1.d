@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rate_sweep-66bb94513cfdcba1.d: examples/rate_sweep.rs
+
+/root/repo/target/debug/examples/rate_sweep-66bb94513cfdcba1: examples/rate_sweep.rs
+
+examples/rate_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rate_sweep-ee76edcc9c122d39.d: examples/rate_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/librate_sweep-ee76edcc9c122d39.rmeta: examples/rate_sweep.rs Cargo.toml
+
+examples/rate_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

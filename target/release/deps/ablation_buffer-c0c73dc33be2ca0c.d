@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_buffer-c0c73dc33be2ca0c.d: crates/bench/src/bin/ablation_buffer.rs
+
+/root/repo/target/release/deps/ablation_buffer-c0c73dc33be2ca0c: crates/bench/src/bin/ablation_buffer.rs
+
+crates/bench/src/bin/ablation_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cost_profiles-643384e95c4db683.d: crates/bench/src/bin/ablation_cost_profiles.rs
+
+/root/repo/target/release/deps/ablation_cost_profiles-643384e95c4db683: crates/bench/src/bin/ablation_cost_profiles.rs
+
+crates/bench/src/bin/ablation_cost_profiles.rs:

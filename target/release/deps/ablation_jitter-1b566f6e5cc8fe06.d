@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_jitter-1b566f6e5cc8fe06.d: crates/bench/src/bin/ablation_jitter.rs
+
+/root/repo/target/release/deps/ablation_jitter-1b566f6e5cc8fe06: crates/bench/src/bin/ablation_jitter.rs
+
+crates/bench/src/bin/ablation_jitter.rs:

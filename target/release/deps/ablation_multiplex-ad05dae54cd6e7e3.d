@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_multiplex-ad05dae54cd6e7e3.d: crates/bench/src/bin/ablation_multiplex.rs
+
+/root/repo/target/release/deps/ablation_multiplex-ad05dae54cd6e7e3: crates/bench/src/bin/ablation_multiplex.rs
+
+crates/bench/src/bin/ablation_multiplex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rate_sweep-34978055d5969949.d: crates/bench/src/bin/ablation_rate_sweep.rs
+
+/root/repo/target/release/deps/ablation_rate_sweep-34978055d5969949: crates/bench/src/bin/ablation_rate_sweep.rs
+
+crates/bench/src/bin/ablation_rate_sweep.rs:

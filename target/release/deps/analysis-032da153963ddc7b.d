@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/analysis-032da153963ddc7b.d: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/release/deps/libanalysis-032da153963ddc7b.rlib: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/release/deps/libanalysis-032da153963ddc7b.rmeta: crates/analysis/src/lib.rs crates/analysis/src/detector.rs crates/analysis/src/metrics.rs crates/analysis/src/phases.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs crates/analysis/src/timeseries.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/detector.rs:
+crates/analysis/src/metrics.rs:
+crates/analysis/src/phases.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeseries.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/baselines-2ec6d7c4c736bd0d.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs
+
+/root/repo/target/release/deps/libbaselines-2ec6d7c4c736bd0d.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs
+
+/root/repo/target/release/deps/libbaselines-2ec6d7c4c736bd0d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/kleb_tool.rs crates/baselines/src/limit.rs crates/baselines/src/papi.rs crates/baselines/src/perf_kernel.rs crates/baselines/src/perf_record.rs crates/baselines/src/perf_stat.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/kleb_tool.rs:
+crates/baselines/src/limit.rs:
+crates/baselines/src/papi.rs:
+crates/baselines/src/perf_kernel.rs:
+crates/baselines/src/perf_record.rs:
+crates/baselines/src/perf_stat.rs:

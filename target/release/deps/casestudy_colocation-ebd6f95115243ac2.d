@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/casestudy_colocation-ebd6f95115243ac2.d: crates/bench/src/bin/casestudy_colocation.rs
+
+/root/repo/target/release/deps/casestudy_colocation-ebd6f95115243ac2: crates/bench/src/bin/casestudy_colocation.rs
+
+crates/bench/src/bin/casestudy_colocation.rs:

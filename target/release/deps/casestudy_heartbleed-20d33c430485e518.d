@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/casestudy_heartbleed-20d33c430485e518.d: crates/bench/src/bin/casestudy_heartbleed.rs
+
+/root/repo/target/release/deps/casestudy_heartbleed-20d33c430485e518: crates/bench/src/bin/casestudy_heartbleed.rs
+
+crates/bench/src/bin/casestudy_heartbleed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_linpack_phases-626e6795b771a9fe.d: crates/bench/src/bin/fig4_linpack_phases.rs
+
+/root/repo/target/release/deps/fig4_linpack_phases-626e6795b771a9fe: crates/bench/src/bin/fig4_linpack_phases.rs
+
+crates/bench/src/bin/fig4_linpack_phases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_docker_mpki-39875d13d6d8a9f5.d: crates/bench/src/bin/fig5_docker_mpki.rs
+
+/root/repo/target/release/deps/fig5_docker_mpki-39875d13d6d8a9f5: crates/bench/src/bin/fig5_docker_mpki.rs
+
+crates/bench/src/bin/fig5_docker_mpki.rs:

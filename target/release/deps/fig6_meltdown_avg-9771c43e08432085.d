@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_meltdown_avg-9771c43e08432085.d: crates/bench/src/bin/fig6_meltdown_avg.rs
+
+/root/repo/target/release/deps/fig6_meltdown_avg-9771c43e08432085: crates/bench/src/bin/fig6_meltdown_avg.rs
+
+crates/bench/src/bin/fig6_meltdown_avg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_meltdown_series-2d73ad6f602aeaba.d: crates/bench/src/bin/fig7_meltdown_series.rs
+
+/root/repo/target/release/deps/fig7_meltdown_series-2d73ad6f602aeaba: crates/bench/src/bin/fig7_meltdown_series.rs
+
+crates/bench/src/bin/fig7_meltdown_series.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_overhead_box-43faff923c31cc71.d: crates/bench/src/bin/fig8_overhead_box.rs
+
+/root/repo/target/release/deps/fig8_overhead_box-43faff923c31cc71: crates/bench/src/bin/fig8_overhead_box.rs
+
+crates/bench/src/bin/fig8_overhead_box.rs:

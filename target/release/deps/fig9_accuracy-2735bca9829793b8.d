@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_accuracy-2735bca9829793b8.d: crates/bench/src/bin/fig9_accuracy.rs
+
+/root/repo/target/release/deps/fig9_accuracy-2735bca9829793b8: crates/bench/src/bin/fig9_accuracy.rs
+
+crates/bench/src/bin/fig9_accuracy.rs:

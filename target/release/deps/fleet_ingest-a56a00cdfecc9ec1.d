@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_ingest-a56a00cdfecc9ec1.d: crates/bench/benches/fleet_ingest.rs
+
+/root/repo/target/release/deps/fleet_ingest-a56a00cdfecc9ec1: crates/bench/benches/fleet_ingest.rs
+
+crates/bench/benches/fleet_ingest.rs:

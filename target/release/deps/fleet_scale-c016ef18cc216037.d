@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_scale-c016ef18cc216037.d: crates/bench/src/bin/fleet_scale.rs
+
+/root/repo/target/release/deps/fleet_scale-c016ef18cc216037: crates/bench/src/bin/fleet_scale.rs
+
+crates/bench/src/bin/fleet_scale.rs:

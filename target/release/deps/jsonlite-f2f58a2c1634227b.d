@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jsonlite-f2f58a2c1634227b.d: compat/jsonlite/src/lib.rs
+
+/root/repo/target/release/deps/libjsonlite-f2f58a2c1634227b.rlib: compat/jsonlite/src/lib.rs
+
+/root/repo/target/release/deps/libjsonlite-f2f58a2c1634227b.rmeta: compat/jsonlite/src/lib.rs
+
+compat/jsonlite/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/kleb-51c196622789be60.d: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs
+
+/root/repo/target/release/deps/libkleb-51c196622789be60.rlib: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs
+
+/root/repo/target/release/deps/libkleb-51c196622789be60.rmeta: crates/kleb/src/lib.rs crates/kleb/src/api.rs crates/kleb/src/config.rs crates/kleb/src/controller.rs crates/kleb/src/log.rs crates/kleb/src/module.rs crates/kleb/src/sample.rs
+
+crates/kleb/src/lib.rs:
+crates/kleb/src/api.rs:
+crates/kleb/src/config.rs:
+crates/kleb/src/controller.rs:
+crates/kleb/src/log.rs:
+crates/kleb/src/module.rs:
+crates/kleb/src/sample.rs:

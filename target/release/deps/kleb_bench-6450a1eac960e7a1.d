@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kleb_bench-6450a1eac960e7a1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs
+
+/root/repo/target/release/deps/libkleb_bench-6450a1eac960e7a1.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs
+
+/root/repo/target/release/deps/libkleb_bench-6450a1eac960e7a1.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/scale.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kleb_repro-6ba7af7e47c75a22.d: src/lib.rs
+
+/root/repo/target/release/deps/libkleb_repro-6ba7af7e47c75a22.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkleb_repro-6ba7af7e47c75a22.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kleb_repro-f5e920ecf7924fe7.d: src/lib.rs
+
+/root/repo/target/release/deps/libkleb_repro-f5e920ecf7924fe7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkleb_repro-f5e920ecf7924fe7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ksim-fd85a128fb1e1674.d: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs
+
+/root/repo/target/release/deps/libksim-fd85a128fb1e1674.rlib: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs
+
+/root/repo/target/release/deps/libksim-fd85a128fb1e1674.rmeta: crates/ksim/src/lib.rs crates/ksim/src/cost.rs crates/ksim/src/device.rs crates/ksim/src/event.rs crates/ksim/src/hrtimer.rs crates/ksim/src/machine.rs crates/ksim/src/process.rs crates/ksim/src/time.rs crates/ksim/src/workload.rs
+
+crates/ksim/src/lib.rs:
+crates/ksim/src/cost.rs:
+crates/ksim/src/device.rs:
+crates/ksim/src/event.rs:
+crates/ksim/src/hrtimer.rs:
+crates/ksim/src/machine.rs:
+crates/ksim/src/process.rs:
+crates/ksim/src/time.rs:
+crates/ksim/src/workload.rs:

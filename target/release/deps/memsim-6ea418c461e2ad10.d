@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/memsim-6ea418c461e2ad10.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs
+
+/root/repo/target/release/deps/libmemsim-6ea418c461e2ad10.rlib: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs
+
+/root/repo/target/release/deps/libmemsim-6ea418c461e2ad10.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/pattern.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/pattern.rs:

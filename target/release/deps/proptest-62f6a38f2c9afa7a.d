@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-62f6a38f2c9afa7a.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-62f6a38f2c9afa7a.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-62f6a38f2c9afa7a.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b1e121b4be1c6f25.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b1e121b4be1c6f25.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b1e121b4be1c6f25.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-56bb99597097caec.d: compat/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-56bb99597097caec.rlib: compat/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-56bb99597097caec.rmeta: compat/rand_distr/src/lib.rs
+
+compat/rand_distr/src/lib.rs:

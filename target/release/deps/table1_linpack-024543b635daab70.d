@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_linpack-024543b635daab70.d: crates/bench/src/bin/table1_linpack.rs
+
+/root/repo/target/release/deps/table1_linpack-024543b635daab70: crates/bench/src/bin/table1_linpack.rs
+
+crates/bench/src/bin/table1_linpack.rs:

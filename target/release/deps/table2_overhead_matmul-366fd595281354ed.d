@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_overhead_matmul-366fd595281354ed.d: crates/bench/src/bin/table2_overhead_matmul.rs
+
+/root/repo/target/release/deps/table2_overhead_matmul-366fd595281354ed: crates/bench/src/bin/table2_overhead_matmul.rs
+
+crates/bench/src/bin/table2_overhead_matmul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_overhead_dgemm-08bf5caf35e52301.d: crates/bench/src/bin/table3_overhead_dgemm.rs
+
+/root/repo/target/release/deps/table3_overhead_dgemm-08bf5caf35e52301: crates/bench/src/bin/table3_overhead_dgemm.rs
+
+crates/bench/src/bin/table3_overhead_dgemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify_aws-f40cafc695ec267b.d: crates/bench/src/bin/verify_aws.rs
+
+/root/repo/target/release/deps/verify_aws-f40cafc695ec267b: crates/bench/src/bin/verify_aws.rs
+
+crates/bench/src/bin/verify_aws.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/workloads-8c39730e13428b46.d: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/release/deps/libworkloads-8c39730e13428b46.rlib: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/release/deps/libworkloads-8c39730e13428b46.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dgemm.rs crates/workloads/src/docker.rs crates/workloads/src/heartbleed.rs crates/workloads/src/linpack.rs crates/workloads/src/matmul.rs crates/workloads/src/meltdown.rs crates/workloads/src/synthetic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dgemm.rs:
+crates/workloads/src/docker.rs:
+crates/workloads/src/heartbleed.rs:
+crates/workloads/src/linpack.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/meltdown.rs:
+crates/workloads/src/synthetic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_monitoring-fefc1cf7eec92d9c.d: examples/fleet_monitoring.rs
+
+/root/repo/target/release/examples/fleet_monitoring-fefc1cf7eec92d9c: examples/fleet_monitoring.rs
+
+examples/fleet_monitoring.rs:

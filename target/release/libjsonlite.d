@@ -1,0 +1,1 @@
+/root/repo/target/release/libjsonlite.rlib: /root/repo/compat/jsonlite/src/lib.rs

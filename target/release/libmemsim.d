@@ -1,0 +1,1 @@
+/root/repo/target/release/libmemsim.rlib: /root/repo/crates/memsim/src/cache.rs /root/repo/crates/memsim/src/hierarchy.rs /root/repo/crates/memsim/src/lib.rs /root/repo/crates/memsim/src/pattern.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/librand_distr.rlib: /root/repo/compat/rand/src/lib.rs /root/repo/compat/rand_distr/src/lib.rs

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> klint (determinism + MSR-protocol invariants, baseline: klint.baseline)"
+cargo run -q -p klint -- --workspace
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 

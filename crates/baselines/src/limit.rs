@@ -216,7 +216,8 @@ struct LimitShared {
     error: Option<String>,
 }
 
-const RDPMC_ALL: [u32; 7] = [0, 1, 2, 3, 0x4000_0000, 0x4000_0001, 0x4000_0002];
+/// `rdpmc` index encoding for fixed counter `n` (bit 30 set).
+const RDPMC_FIXED: u32 = 0x4000_0000;
 
 /// A workload instrumented with LiMiT user-space counter reads.
 #[derive(Debug)]
@@ -291,16 +292,27 @@ impl LimitInstrumented {
         })
     }
 
+    /// The counters one instrumentation read covers: only the programmed
+    /// PMCs (reading an unprogrammed counter violates the MSR protocol —
+    /// its value is meaningless by contract) plus the three fixed counters.
+    fn rdpmc_indices(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.events.len() as u32).collect();
+        idx.extend((0..NUM_FIXED as u32).map(|n| RDPMC_FIXED | n));
+        idx
+    }
+
     fn record_read(&mut self, values: &[u64], is_final: bool) {
+        // Layout matches rdpmc_indices: events.len() PMCs, then 3 fixed.
+        let n = self.events.len();
         let mut shared = self.shared.lock().unwrap();
         if let Some(last) = &self.last {
             let delta: Vec<u64> = values
                 .iter()
                 .zip(last)
-                .take(self.events.len())
+                .take(n)
                 .map(|(now, then)| now.wrapping_sub(*then))
                 .collect();
-            let instr_delta = values[4].wrapping_sub(last[4]);
+            let instr_delta = values[n].wrapping_sub(last[n]);
             shared.samples.push(ToolSample {
                 timestamp_ns: 0,
                 values: delta,
@@ -313,14 +325,14 @@ impl LimitInstrumented {
                     values
                         .iter()
                         .zip(first)
-                        .take(self.events.len())
+                        .take(n)
                         .map(|(now, then)| now.wrapping_sub(*then))
                         .collect(),
                 );
                 shared.fixed_totals = [
-                    values[4].wrapping_sub(first[4]),
-                    values[5].wrapping_sub(first[5]),
-                    values[6].wrapping_sub(first[6]),
+                    values[n].wrapping_sub(first[n]),
+                    values[n + 1].wrapping_sub(first[n + 1]),
+                    values[n + 2].wrapping_sub(first[n + 2]),
                 ];
             }
         }
@@ -341,7 +353,7 @@ impl Workload for LimitInstrumented {
                         return None;
                     }
                 }
-                return Some(WorkItem::Rdpmc(RDPMC_ALL.to_vec()));
+                return Some(WorkItem::Rdpmc(self.rdpmc_indices()));
             }
             Pending::BaselineRead => {
                 self.pending = Pending::None;
@@ -384,7 +396,7 @@ impl Workload for LimitInstrumented {
                 self.costs.read_user_cycles / 20,
                 self.costs.read_user_cycles,
             )));
-            return Some(WorkItem::Rdpmc(RDPMC_ALL.to_vec()));
+            return Some(WorkItem::Rdpmc(self.rdpmc_indices()));
         }
         let inner_prev = self.stashed_inner.take().unwrap_or_default();
         match self.inner.next(&inner_prev) {
@@ -400,7 +412,7 @@ impl Workload for LimitInstrumented {
                 }
                 self.finished = true;
                 self.pending = Pending::Read { is_final: true };
-                Some(WorkItem::Rdpmc(RDPMC_ALL.to_vec()))
+                Some(WorkItem::Rdpmc(self.rdpmc_indices()))
             }
         }
     }

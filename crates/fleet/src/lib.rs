@@ -30,12 +30,14 @@
 //! ```
 
 pub mod channel;
+pub mod clock;
 pub mod detect;
 pub mod metrics;
 pub mod runner;
 pub mod store;
 
 pub use channel::{bounded, Backpressure, Batch, ChannelStats, Receiver, Sender};
+pub use clock::{Clock, MonotonicClock, TickClock};
 pub use detect::{scan_fleet, verdict_table, AnomalyConfig, FleetAnomalyReport, MachineVerdict};
 pub use metrics::{FleetMetrics, LatencyHistogram};
 pub use runner::{

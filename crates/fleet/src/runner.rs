@@ -16,13 +16,13 @@
 //! per-stream accounting is guaranteed, not the surviving set.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use kleb::{KlebTuning, Monitor, MonitorOutcome, Sample, SampleSink};
 use ksim::{Duration, Machine, MachineConfig, Workload};
 use pmu::HwEvent;
 
 use crate::channel::{bounded, Backpressure, ChannelStats, Sender};
+use crate::clock::{Clock, MonotonicClock};
 use crate::metrics::FleetMetrics;
 use crate::store::FleetStore;
 
@@ -88,6 +88,10 @@ pub struct FleetConfig {
     pub shard_capacity: usize,
     /// Machine hardware model, built from the spec's seed.
     pub machine_config: fn(u64) -> MachineConfig,
+    /// Time source for collector self-timing (ingest latency, elapsed).
+    /// Defaults to the real [`MonotonicClock`]; inject a
+    /// [`crate::TickClock`] for reproducible timing under `--seed`.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl FleetConfig {
@@ -103,6 +107,7 @@ impl FleetConfig {
             backpressure: Backpressure::Block,
             shard_capacity: 64 * 1024,
             machine_config: MachineConfig::i7_920,
+            clock: Arc::new(MonotonicClock::new()),
         }
     }
 
@@ -133,6 +138,12 @@ impl FleetConfig {
     /// Overrides the machine hardware model.
     pub fn machine(mut self, factory: fn(u64) -> MachineConfig) -> Self {
         self.machine_config = factory;
+        self
+    }
+
+    /// Overrides the collector's time source.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 }
@@ -240,7 +251,8 @@ impl FleetRunner {
         let metrics = Arc::new(FleetMetrics::new());
         let mut store = FleetStore::new(n, self.config.events.clone(), self.config.shard_capacity);
 
-        let started = Instant::now();
+        let clock = &self.config.clock;
+        let started_ns = clock.now_ns();
         let mut handles = Vec::with_capacity(n);
         // Sender i goes to spec i: stream indices equal spec order.
         let mut senders_iter = senders.drain(..);
@@ -274,15 +286,15 @@ impl FleetRunner {
         // Collector loop: drain until every sender (inside the machine
         // workloads) has dropped and the queue is empty.
         while let Some(batch) = receiver.recv() {
-            let t0 = Instant::now();
+            let t0_ns = clock.now_ns();
             let (_, rejected) = store.ingest(batch.machine, &batch.samples);
-            let latency = t0.elapsed().as_nanos() as u64;
+            let latency = clock.now_ns().saturating_sub(t0_ns);
             metrics.record_batch(batch.samples.len() as u64, latency);
             if rejected > 0 {
                 metrics.add_rejected(rejected);
             }
         }
-        let elapsed = started.elapsed();
+        let elapsed = std::time::Duration::from_nanos(clock.now_ns().saturating_sub(started_ns));
 
         let mut machines = Vec::with_capacity(n);
         let mut first_error = None;
@@ -391,6 +403,22 @@ mod tests {
         let err = FleetRunner::new(bad).run(specs).unwrap_err();
         let FleetError::Machine { error, .. } = err;
         assert!(error.contains("controller"), "got: {error}");
+    }
+
+    #[test]
+    fn injected_tick_clock_makes_timing_deterministic() {
+        let run = || {
+            let cfg = quick_config().clock(Arc::new(crate::clock::TickClock::new(100)));
+            FleetRunner::new(cfg)
+                .run((0..2).map(spec).collect())
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        // The collector is the only clock reader, so elapsed is a pure
+        // function of the (deterministic) batch count — identical runs
+        // report identical timing, which real Instant::now never did.
+        assert_eq!(a.elapsed, b.elapsed);
+        assert!(a.elapsed.as_nanos() > 0);
     }
 
     #[test]

@@ -246,7 +246,7 @@ impl Monitor {
 
         machine.run_until_exit(controller)?;
 
-        let guard = report.lock().unwrap();
+        let guard = crate::controller::lock_report(&report);
         if let Some(err) = &guard.error {
             return Err(MonitorError::Controller(err.clone()));
         }
@@ -314,7 +314,9 @@ pub fn monitor_sequential(
         }
         .run(&mut m, name, workload_factory(run_index))?;
         for &event in group {
-            let total = outcome.total_event(event).expect("event was configured");
+            let total = outcome.total_event(event).ok_or_else(|| {
+                MonitorError::Controller(format!("configured event {event} missing from outcome"))
+            })?;
             event_totals.push((event, total));
         }
         runs.push(outcome);

@@ -166,9 +166,11 @@ impl MonitorConfig {
         Ok(())
     }
 
-    /// Marshals for the ioctl payload.
+    /// Marshals for the ioctl payload. Serialization of these plain fields
+    /// cannot fail; if it ever did, the empty payload is rejected by the
+    /// module as `-EINVAL` rather than panicking in the controller.
     pub fn to_payload(&self) -> Vec<u8> {
-        jsonlite::to_vec(self).expect("config serializes")
+        jsonlite::to_vec(self).unwrap_or_default()
     }
 
     /// Unmarshals from an ioctl payload.
@@ -201,9 +203,11 @@ pub struct ModuleStatus {
 }
 
 impl ModuleStatus {
-    /// Marshals for the ioctl out-payload.
+    /// Marshals for the ioctl out-payload. Like
+    /// [`MonitorConfig::to_payload`], degrades to an empty (`-EINVAL`)
+    /// payload instead of panicking.
     pub fn to_payload(&self) -> Vec<u8> {
-        jsonlite::to_vec(self).expect("status serializes")
+        jsonlite::to_vec(self).unwrap_or_default()
     }
 
     /// Unmarshals from an ioctl out-payload.

@@ -57,6 +57,15 @@ pub fn shared_report() -> SharedReport {
     Arc::new(Mutex::new(ControllerReport::default()))
 }
 
+/// Locks a shared report, recovering from poisoning: a panic elsewhere
+/// must not cascade into the controller, and the report data stays valid
+/// (it is only ever appended to under the lock).
+pub(crate) fn lock_report(report: &SharedReport) -> std::sync::MutexGuard<'_, ControllerReport> {
+    report
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Per-record user-space logging cost (format + write to the log file,
 /// amortized): instructions and cycles charged as a compute block on the
 /// controller's core after each drain.
@@ -147,7 +156,7 @@ impl Controller {
     }
 
     fn fail(&mut self, what: &str, retval: i64) -> Option<WorkItem> {
-        self.report.lock().unwrap().error = Some(format!("{what} failed: {retval}"));
+        lock_report(&self.report).error = Some(format!("{what} failed: {retval}"));
         self.phase = Phase::Done;
         None
     }
@@ -215,7 +224,7 @@ impl Workload for Controller {
                                 sink.on_batch(&samples);
                             }
                         }
-                        let mut report = self.report.lock().unwrap();
+                        let mut report = lock_report(&self.report);
                         report.samples.extend(samples);
                         report.drains += 1;
                         n
@@ -266,7 +275,7 @@ impl Workload for Controller {
                                     sink.on_batch(&samples);
                                 }
                             }
-                            let mut report = self.report.lock().unwrap();
+                            let mut report = lock_report(&self.report);
                             report.samples.extend(samples);
                             report.drains += 1;
                             // Buffer may still hold more records than one
@@ -283,7 +292,7 @@ impl Workload for Controller {
                 Phase::Done => {
                     if let ItemResult::Syscall { payload, .. } = prev {
                         if let Some(s) = ModuleStatus::from_payload(payload) {
-                            self.report.lock().unwrap().final_status = Some(s);
+                            lock_report(&self.report).final_status = Some(s);
                         }
                     }
                     if let Some(sink) = &mut self.sink {

@@ -299,7 +299,10 @@ impl KlebModule {
             sample.fixed[i] = ctx.rdmsr(msr::fixed_ctr(i)).unwrap_or(0);
             let _ = ctx.wrmsr(msr::fixed_ctr(i), 0);
         }
-        for i in 0..NUM_PROGRAMMABLE {
+        // Only the configured counters: the remaining PMCs were never
+        // enabled, and reading them would be an MSR-protocol violation
+        // (their value is meaningless by contract).
+        for i in 0..a.cfg.events.len().min(NUM_PROGRAMMABLE) {
             sample.pmc[i] = ctx.rdmsr(msr::pmc(i)).unwrap_or(0);
             let _ = ctx.wrmsr(msr::pmc(i), 0);
         }
@@ -346,7 +349,9 @@ impl Device for KlebModule {
         let n = (max_bytes / crate::sample::RECORD_BYTES).min(a.buffer.len());
         let mut out = Vec::with_capacity(n * crate::sample::RECORD_BYTES);
         for _ in 0..n {
-            let s = a.buffer.pop_front().expect("n bounded by buffer length");
+            let Some(s) = a.buffer.pop_front() else {
+                break; // n is bounded by buffer length, but never panic
+            };
             s.encode_into(&mut out);
         }
         let copy_cost = n as u64 * ctx.cost().copy_to_user_record;

@@ -60,19 +60,19 @@ impl Sample {
         if bytes.len() < RECORD_BYTES {
             return None;
         }
-        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
-        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| Some(u64::from_le_bytes(bytes.get(o..o + 8)?.try_into().ok()?));
+        let u32_at = |o: usize| Some(u32::from_le_bytes(bytes.get(o..o + 4)?.try_into().ok()?));
         let mut s = Sample {
-            timestamp_ns: u64_at(0),
-            pid: u32_at(8),
-            final_sample: u32_at(12) != 0,
+            timestamp_ns: u64_at(0)?,
+            pid: u32_at(8)?,
+            final_sample: u32_at(12)? != 0,
             ..Sample::default()
         };
         for (i, v) in s.fixed.iter_mut().enumerate() {
-            *v = u64_at(16 + i * 8);
+            *v = u64_at(16 + i * 8)?;
         }
         for (i, v) in s.pmc.iter_mut().enumerate() {
-            *v = u64_at(16 + NUM_FIXED * 8 + i * 8);
+            *v = u64_at(16 + NUM_FIXED * 8 + i * 8)?;
         }
         Some(s)
     }

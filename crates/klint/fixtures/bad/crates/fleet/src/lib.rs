@@ -1,0 +1,12 @@
+//! Seeded D3/M1 violations for klint's CLI exit-code test (fixture, not
+//! compiled).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Relaxed);
+}
+
+pub fn program(pmu: &mut pmu::Pmu) {
+    let _ = pmu.wrmsr(0x38F, 1);
+}

@@ -1,0 +1,14 @@
+//! Seeded D1/D2 violations for klint's CLI exit-code test.
+//! This tree is a fixture — it is never compiled or linted as part of
+//! the real workspace (only `crates/*/{src,tests,examples}` under the
+//! workspace root are walked).
+
+use std::time::Instant;
+
+pub fn wall_clock_ns() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

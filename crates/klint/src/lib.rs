@@ -1,0 +1,214 @@
+//! `klint`: static enforcement of the project's determinism and
+//! MSR-protocol invariants.
+//!
+//! The compiler cannot check the two properties the reproduction's
+//! substitution argument rests on (DESIGN.md): simulations must be
+//! bit-for-bit deterministic, and tools must speak the documented MSR
+//! protocol. `klint` walks the workspace sources with a hand-rolled lexer
+//! ([`lexer`]) and enforces both as token-level rules ([`rules`]), with
+//! per-site suppressions and a checked-in baseline ([`baseline`]) so
+//! existing debt is frozen rather than ignored. Its dynamic twin is
+//! `pmu::ProtocolChecker`, which validates the MSR access trace at runtime.
+//!
+//! No dependencies, by design — the linter must never be the thing that
+//! drags a supply chain into the build (and the container is offline).
+//!
+//! Suppression syntax, on the offending line or the line above:
+//!
+//! ```text
+//! // klint: allow(D1): the one real clock behind the Clock trait
+//! let t = Instant::now();
+//! ```
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+pub use baseline::Baseline;
+pub use rules::{Rule, Violation, ALL_RULES};
+
+/// Parses `// klint: allow(R1, R2)` suppressions out of lexed comments.
+/// Returns `(line, rules)` pairs; a suppression covers its own line and
+/// the next line.
+fn suppressions(lexed: &lexer::Lexed) -> Vec<(usize, BTreeSet<Rule>)> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("klint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(open) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(end) = open.find(')') else {
+            continue;
+        };
+        let rules: BTreeSet<Rule> = open[..end]
+            .split(',')
+            .filter_map(|r| Rule::parse(r.trim()))
+            .collect();
+        if !rules.is_empty() {
+            out.push((c.line, rules));
+        }
+    }
+    out
+}
+
+/// Lints one file's source text.
+///
+/// `rel_path` must be workspace-relative with forward slashes
+/// (`crates/ksim/src/machine.rs`); rule scoping and the baseline key both
+/// derive from it.
+pub fn check_source(rel_path: &str, text: &str) -> Vec<Violation> {
+    let lexed = lexer::lex(text);
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next());
+    let in_tests_dir = rel_path.split('/').any(|seg| seg == "tests");
+    let violations = rules::check_tokens(&lexed, rel_path, crate_name, in_tests_dir);
+    let allows = suppressions(&lexed);
+    violations
+        .into_iter()
+        .filter(|v| {
+            !allows.iter().any(|(line, rules)| {
+                rules.contains(&v.rule) && (v.line == *line || v.line == line + 1)
+            })
+        })
+        .collect()
+}
+
+/// A filesystem error while walking or reading sources.
+#[derive(Debug)]
+pub struct WalkError {
+    /// The path the operation failed on.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub error: std::io::Error,
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.error)
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// Collects the workspace-relative paths of every `.rs` file klint scans:
+/// `crates/*/{src,tests,examples}`, sorted for deterministic reports.
+/// `compat/` (vendored stand-ins) and build output are not scanned.
+///
+/// # Errors
+///
+/// Returns [`WalkError`] if a directory listed above cannot be read.
+pub fn workspace_sources(root: &Path) -> Result<Vec<String>, WalkError> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    for krate in read_dir_sorted(&crates)? {
+        if !krate.is_dir() {
+            continue;
+        }
+        for sub in ["src", "tests", "examples"] {
+            let dir = krate.join(sub);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut files)?;
+            }
+        }
+    }
+    let mut rel: Vec<String> = files
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| {
+            p.components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, WalkError> {
+    let rd = std::fs::read_dir(dir).map_err(|error| WalkError {
+        path: dir.to_path_buf(),
+        error,
+    })?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|error| WalkError {
+            path: dir.to_path_buf(),
+            error,
+        })?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace under `root`.
+///
+/// # Errors
+///
+/// Returns [`WalkError`] if sources cannot be listed or read.
+pub fn check_workspace(root: &Path) -> Result<Vec<Violation>, WalkError> {
+    let mut all = Vec::new();
+    for rel in workspace_sources(root)? {
+        let path = root.join(&rel);
+        let text = std::fs::read_to_string(&path).map_err(|error| WalkError {
+            path: path.clone(),
+            error,
+        })?;
+        all.extend(check_source(&rel, &text));
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_covers_own_and_next_line() {
+        let src = "\
+// klint: allow(D1)
+fn f() { let _ = Instant::now(); }
+fn g() { let _ = Instant::now(); }
+";
+        let v = check_source("crates/ksim/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn suppression_is_rule_specific() {
+        let src = "fn f() { let _ = Instant::now(); } // klint: allow(D2)\n";
+        let v = check_source("crates/ksim/src/x.rs", src);
+        assert_eq!(v.len(), 1, "allow(D2) must not silence D1");
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_clean() {
+        let src = "fn f() { let _ = Instant::now(); }\n";
+        assert!(check_source("crates/analysis/src/x.rs", src).is_empty());
+    }
+}

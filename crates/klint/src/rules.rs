@@ -1,0 +1,383 @@
+//! The rule set: project invariants as token-pattern checks.
+//!
+//! | Rule | Invariant | Scope |
+//! |------|-----------|-------|
+//! | `D1` | no wall-clock / unseeded RNG (`SystemTime::now`, `Instant::now`, argless `thread_rng()`) — simulated time comes from `ksim::time`, randomness from seeded `StdRng` | `pmu`, `ksim`, `memsim`, `kleb`, `workloads`, `fleet` |
+//! | `D2` | no `unwrap()` / `expect()` in library code — use typed errors | `pmu`, `ksim`, `kleb` (non-test) |
+//! | `D3` | no `Ordering::Relaxed` on atomics that gate cross-thread data visibility | `fleet` (allowlist: `metrics.rs`, pure counters) |
+//! | `M1` | `wrmsr`/`rdmsr` call sites name a `pmu::msr` constant, never a bare integer MSR address | all crates (non-test) |
+//!
+//! `D2` and `M1` skip `#[cfg(test)]` modules and `tests/` directories:
+//! panicking on broken invariants is the *point* of a test, and tests
+//! legitimately poke raw MSR addresses to probe error paths. `D1` and `D3`
+//! apply to tests too — a wall-clock read in a test breaks determinism just
+//! as thoroughly as one in library code.
+
+use crate::lexer::{Lexed, Tok};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Determinism: no wall-clock / unseeded RNG in simulation crates.
+    D1,
+    /// No `unwrap()`/`expect()` in library code of core crates.
+    D2,
+    /// No `Ordering::Relaxed` gating cross-thread visibility in `fleet`.
+    D3,
+    /// MSR addresses must be named `pmu::msr` constants.
+    M1,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: [Rule; 4] = [Rule::D1, Rule::D2, Rule::D3, Rule::M1];
+
+impl Rule {
+    /// Short name used in reports, baselines, and suppressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::M1 => "M1",
+        }
+    }
+
+    /// Parses a rule name (as written in `// klint: allow(...)`).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "M1" => Some(Rule::M1),
+            _ => None,
+        }
+    }
+
+    /// Whether `crate_name` (e.g. `"ksim"`) is in this rule's scope.
+    /// `None` means the file is outside `crates/` (workspace-level code).
+    pub fn applies_to_crate(self, crate_name: Option<&str>) -> bool {
+        match self {
+            Rule::D1 => matches!(
+                crate_name,
+                Some("pmu" | "ksim" | "memsim" | "kleb" | "workloads" | "fleet")
+            ),
+            Rule::D2 => matches!(crate_name, Some("pmu" | "ksim" | "kleb")),
+            Rule::D3 => matches!(crate_name, Some("fleet")),
+            Rule::M1 => true,
+        }
+    }
+
+    /// Whether this rule skips test code (`#[cfg(test)]` modules and
+    /// `tests/` directories).
+    pub fn skips_tests(self) -> bool {
+        matches!(self, Rule::D2 | Rule::M1)
+    }
+
+    /// Per-file allowlist baked into the rule definition.
+    pub fn allows_file(self, rel_path: &str) -> bool {
+        match self {
+            // Pure monotonic counters (sample/violation/latency tallies):
+            // Relaxed is correct there because no thread reads them to
+            // decide whether *other* data is visible.
+            Rule::D3 => rel_path == "crates/fleet/src/metrics.rs",
+            _ => false,
+        }
+    }
+}
+
+/// One rule hit at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Normalized token snippet identifying the hit (baseline key).
+    pub snippet: String,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// Token index ranges covered by `#[cfg(test)] mod … { … }`.
+fn test_spans(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let t = &lexed.tokens;
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 6 < t.len() {
+        let is_cfg_test = t[i].tok.is_punct('#')
+            && t[i + 1].tok.is_punct('[')
+            && t[i + 2].tok.is_ident("cfg")
+            && t[i + 3].tok.is_punct('(')
+            && t[i + 4].tok.is_ident("test")
+            && t[i + 5].tok.is_punct(')')
+            && t[i + 6].tok.is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Walk forward over further attributes / visibility to `mod x {`.
+        let mut j = i + 7;
+        let mut is_mod = false;
+        while j < t.len() {
+            match &t[j].tok {
+                Tok::Ident(s) if s == "mod" => {
+                    is_mod = true;
+                    break;
+                }
+                // Another attribute, visibility, or doc tokens: keep going
+                // up to the next item keyword.
+                Tok::Ident(s) if s == "pub" => j += 1,
+                Tok::Punct('#') => {
+                    // Skip a whole `#[...]` attribute.
+                    j += 1;
+                    if j < t.len() && t[j].tok.is_punct('[') {
+                        let mut depth = 0usize;
+                        while j < t.len() {
+                            if t[j].tok.is_punct('[') {
+                                depth += 1;
+                            } else if t[j].tok.is_punct(']') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+                Tok::Punct('(') => {
+                    // e.g. pub(crate)
+                    while j < t.len() && !t[j].tok.is_punct(')') {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                _ => break, // cfg(test) on a non-mod item (fn, use, …)
+            }
+        }
+        if !is_mod {
+            i += 7;
+            continue;
+        }
+        // Find the opening brace of the module body, then its match.
+        let mut k = j;
+        while k < t.len() && !t[k].tok.is_punct('{') {
+            if t[k].tok.is_punct(';') {
+                break; // out-of-line `mod tests;` — span is another file
+            }
+            k += 1;
+        }
+        if k >= t.len() || !t[k].tok.is_punct('{') {
+            i = j + 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let start = i;
+        let mut end = k;
+        while end < t.len() {
+            if t[end].tok.is_punct('{') {
+                depth += 1;
+            } else if t[end].tok.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        spans.push((start, end));
+        i = end + 1;
+    }
+    spans
+}
+
+fn in_spans(spans: &[(usize, usize)], idx: usize) -> bool {
+    spans.iter().any(|&(a, b)| idx >= a && idx <= b)
+}
+
+/// Runs every applicable rule over one lexed file.
+///
+/// `crate_name` is the `crates/<name>/…` component of the path (if any),
+/// `in_tests_dir` marks files under a `tests/` directory.
+pub fn check_tokens(
+    lexed: &Lexed,
+    rel_path: &str,
+    crate_name: Option<&str>,
+    in_tests_dir: bool,
+) -> Vec<Violation> {
+    let spans = test_spans(lexed);
+    let mut out = Vec::new();
+    for rule in ALL_RULES {
+        if !rule.applies_to_crate(crate_name) || rule.allows_file(rel_path) {
+            continue;
+        }
+        if rule.skips_tests() && in_tests_dir {
+            continue;
+        }
+        let hits = match rule {
+            Rule::D1 => rule_d1(lexed),
+            Rule::D2 => rule_d2(lexed),
+            Rule::D3 => rule_d3(lexed),
+            Rule::M1 => rule_m1(lexed),
+        };
+        for (idx, snippet, message) in hits {
+            if rule.skips_tests() && in_spans(&spans, idx) {
+                continue;
+            }
+            out.push(Violation {
+                rule,
+                path: rel_path.to_string(),
+                line: lexed.tokens[idx].line,
+                snippet,
+                message,
+            });
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+type Hit = (usize, String, String);
+
+/// D1: `SystemTime::now`, `Instant::now`, argless `thread_rng()`.
+fn rule_d1(lexed: &Lexed) -> Vec<Hit> {
+    let t = &lexed.tokens;
+    let mut hits = Vec::new();
+    for i in 0..t.len() {
+        if t[i].tok.is_ident("now")
+            && i >= 3
+            && t[i - 1].tok.is_punct(':')
+            && t[i - 2].tok.is_punct(':')
+        {
+            for ty in ["Instant", "SystemTime"] {
+                if t[i - 3].tok.is_ident(ty) {
+                    hits.push((
+                        i,
+                        format!("{ty}::now"),
+                        format!(
+                            "{ty}::now() reads the wall clock; use the simulated \
+                             clock (ksim::time) or an injected Clock"
+                        ),
+                    ));
+                }
+            }
+        }
+        if t[i].tok.is_ident("thread_rng")
+            && t.get(i + 1).is_some_and(|n| n.tok.is_punct('('))
+            && t.get(i + 2).is_some_and(|n| n.tok.is_punct(')'))
+        {
+            hits.push((
+                i,
+                "thread_rng()".to_string(),
+                "thread_rng() is unseeded; use StdRng::seed_from_u64 so runs \
+                 reproduce under --seed"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+/// D2: `.unwrap()` / `.expect(` in library code.
+fn rule_d2(lexed: &Lexed) -> Vec<Hit> {
+    let t = &lexed.tokens;
+    let mut hits = Vec::new();
+    for i in 1..t.len() {
+        for name in ["unwrap", "expect"] {
+            if t[i].tok.is_ident(name)
+                && t[i - 1].tok.is_punct('.')
+                && t.get(i + 1).is_some_and(|n| n.tok.is_punct('('))
+            {
+                hits.push((
+                    i,
+                    format!(".{name}()"),
+                    format!(".{name}() panics on the error path; return a typed error"),
+                ));
+            }
+        }
+    }
+    hits
+}
+
+/// D3: `Ordering::Relaxed`.
+fn rule_d3(lexed: &Lexed) -> Vec<Hit> {
+    let t = &lexed.tokens;
+    let mut hits = Vec::new();
+    for i in 3..t.len() {
+        if t[i].tok.is_ident("Relaxed")
+            && t[i - 1].tok.is_punct(':')
+            && t[i - 2].tok.is_punct(':')
+            && t[i - 3].tok.is_ident("Ordering")
+        {
+            hits.push((
+                i,
+                "Ordering::Relaxed".to_string(),
+                "Relaxed ordering does not order other memory; use \
+                 Acquire/Release (or move the counter to the metrics allowlist)"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+/// M1: bare integer literal as the MSR-address argument of
+/// `wrmsr`/`rdmsr`/`wrmsr_on`/`rdmsr_on`.
+fn rule_m1(lexed: &Lexed) -> Vec<Hit> {
+    let t = &lexed.tokens;
+    let mut hits = Vec::new();
+    for i in 0..t.len() {
+        let (name, addr_arg) = match &t[i].tok {
+            Tok::Ident(s) if s == "wrmsr" || s == "rdmsr" => (s.clone(), 0usize),
+            Tok::Ident(s) if s == "wrmsr_on" || s == "rdmsr_on" => (s.clone(), 1usize),
+            _ => continue,
+        };
+        let Some(open) = t.get(i + 1) else { continue };
+        if !open.tok.is_punct('(') {
+            continue;
+        }
+        // Split the argument list at depth-0 commas and look at the
+        // MSR-address argument.
+        let mut depth = 1usize;
+        let mut arg = 0usize;
+        let mut arg_tokens: Vec<usize> = Vec::new();
+        let mut j = i + 2;
+        while j < t.len() && depth > 0 {
+            match &t[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(',') if depth == 1 => {
+                    arg += 1;
+                    j += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if arg == addr_arg {
+                arg_tokens.push(j);
+            }
+            j += 1;
+        }
+        if let [only] = arg_tokens[..] {
+            if let Tok::Num(text) = &t[only].tok {
+                hits.push((
+                    only,
+                    format!("{name}({text}, …)"),
+                    format!(
+                        "bare MSR address {text} in {name}(); name it via a \
+                         pmu::msr constant or accessor"
+                    ),
+                ));
+            }
+        }
+    }
+    hits
+}

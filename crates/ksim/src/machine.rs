@@ -52,6 +52,10 @@ pub struct MachineConfig {
     pub tool_cost_jitter: f64,
     /// Seed for all stochastic elements (jitter).
     pub seed: u64,
+    /// Attach a [`pmu::ProtocolChecker`] to every core's PMU, recording
+    /// MSR-protocol violations for [`Machine::protocol_violations`]. Off by
+    /// default; tests that validate tool correctness turn it on.
+    pub check_msr_protocol: bool,
 }
 
 impl Default for MachineConfig {
@@ -74,6 +78,7 @@ impl MachineConfig {
             dram: DramModel::ddr3_triple_channel(),
             tool_cost_jitter: 0.10,
             seed,
+            check_msr_protocol: false,
         }
     }
 
@@ -96,6 +101,7 @@ impl MachineConfig {
             },
             tool_cost_jitter: 0.10,
             seed,
+            check_msr_protocol: false,
         }
     }
 
@@ -112,6 +118,7 @@ impl MachineConfig {
             dram: DramModel::unlimited(),
             tool_cost_jitter: 0.0,
             seed,
+            check_msr_protocol: false,
         }
     }
 }
@@ -279,7 +286,13 @@ impl Machine {
         let cores = (0..cfg.cores)
             .map(|_| Core {
                 now: Instant::ZERO,
-                pmu: Pmu::new(),
+                pmu: {
+                    let mut pmu = Pmu::new();
+                    if cfg.check_msr_protocol {
+                        pmu.enable_protocol_checker();
+                    }
+                    pmu
+                },
                 mem: Hierarchy::new(cfg.mem),
                 current: None,
                 run_queue: VecDeque::new(),
@@ -415,6 +428,16 @@ impl Machine {
     /// Total time a core spent idle.
     pub fn idle_time(&self, core: CoreId) -> Duration {
         self.cores[core.0].idle_time
+    }
+
+    /// MSR-protocol violations recorded across all cores, in core order.
+    ///
+    /// Always empty unless [`MachineConfig::check_msr_protocol`] was set.
+    pub fn protocol_violations(&self) -> Vec<pmu::ProtocolViolation> {
+        self.cores
+            .iter()
+            .flat_map(|c| c.pmu.protocol_violations())
+            .collect()
     }
 
     // ------------------------------------------------------------------

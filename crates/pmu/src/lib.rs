@@ -53,10 +53,12 @@ pub mod event;
 pub mod eventsel;
 pub mod msr;
 pub mod multiplex;
+pub mod protocol;
 mod unit;
 
 pub use counter::{Counter, COUNTER_WIDTH_BITS};
 pub use event::{EventCode, EventCounts, HwEvent, Privilege, N_EVENTS};
 pub use eventsel::EventSel;
 pub use multiplex::{MultiplexEstimate, Multiplexer};
+pub use protocol::{ProtocolChecker, ProtocolViolation};
 pub use unit::{Pmu, PmuError, PmuSnapshot, NUM_FIXED, NUM_PROGRAMMABLE};

@@ -53,7 +53,10 @@ pub struct MultiplexEstimate {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Multiplexer {
-    groups: Vec<Vec<HwEvent>>,
+    /// Groups are contiguous `width`-sized chunks of `order`; group `g`
+    /// covers `order[g * width ..]`, so a group index plus an offset *is*
+    /// the event's request-order index — no reverse lookup needed.
+    width: usize,
     current: usize,
     raw: Vec<u64>,
     enabled_ns: Vec<u64>,
@@ -71,10 +74,9 @@ impl Multiplexer {
     pub fn new(events: Vec<HwEvent>, width: usize) -> Self {
         assert!(width > 0, "counter width must be non-zero");
         assert!(!events.is_empty(), "need at least one event");
-        let groups: Vec<Vec<HwEvent>> = events.chunks(width).map(|c| c.to_vec()).collect();
         let n = events.len();
         Self {
-            groups,
+            width,
             current: 0,
             raw: vec![0; n],
             enabled_ns: vec![0; n],
@@ -86,24 +88,24 @@ impl Multiplexer {
     /// Number of groups the events were partitioned into. `1` means no
     /// multiplexing is needed and estimates are exact.
     pub fn group_count(&self) -> usize {
-        self.groups.len()
+        self.order.len().div_ceil(self.width)
     }
 
     /// True when every requested event fits on the counters simultaneously.
     pub fn is_exact(&self) -> bool {
-        self.groups.len() == 1
+        self.group_count() == 1
+    }
+
+    /// Request-order index of the first event in the current group.
+    fn group_start(&self) -> usize {
+        self.current * self.width
     }
 
     /// The events that should currently be programmed on the counters.
     pub fn current_events(&self) -> &[HwEvent] {
-        &self.groups[self.current]
-    }
-
-    fn index_of(&self, event: HwEvent) -> usize {
-        self.order
-            .iter()
-            .position(|&e| e == event)
-            .expect("event came from this multiplexer's groups")
+        let start = self.group_start();
+        let end = (start + self.width).min(self.order.len());
+        &self.order[start..end]
     }
 
     /// Records that the current group was scheduled for `elapsed_ns` and
@@ -116,20 +118,18 @@ impl Multiplexer {
     ///
     /// Panics if `raw_counts.len()` differs from the current group size.
     pub fn record_and_rotate(&mut self, elapsed_ns: u64, raw_counts: &[u64]) {
-        let group = &self.groups[self.current];
         assert_eq!(
             raw_counts.len(),
-            group.len(),
+            self.current_events().len(),
             "raw_counts must match the current group"
         );
-        let group = group.clone();
-        for (event, &count) in group.iter().zip(raw_counts) {
-            let i = self.index_of(*event);
-            self.raw[i] += count;
-            self.enabled_ns[i] += elapsed_ns;
+        let start = self.group_start();
+        for (offset, &count) in raw_counts.iter().enumerate() {
+            self.raw[start + offset] += count;
+            self.enabled_ns[start + offset] += elapsed_ns;
         }
         self.total_ns += elapsed_ns;
-        self.current = (self.current + 1) % self.groups.len();
+        self.current = (self.current + 1) % self.group_count();
     }
 
     /// Produces the scaled estimate for every requested event, in request

@@ -2,12 +2,14 @@
 //! overflow/PMI state, and a ground-truth ledger used by accuracy
 //! experiments.
 
+use std::cell::RefCell;
 use std::fmt;
 
 use crate::counter::Counter;
 use crate::event::{EventCounts, HwEvent, Privilege};
 use crate::eventsel::EventSel;
 use crate::msr;
+use crate::protocol::{ProtocolChecker, ProtocolViolation};
 
 /// Number of programmable counters (Nehalem through Cascade Lake expose 4,
 /// as the paper notes in §II-A).
@@ -84,6 +86,9 @@ pub struct Pmu {
     /// readings against this ledger.
     ledger_user: EventCounts,
     ledger_kernel: EventCounts,
+    /// Optional protocol checker (see [`crate::protocol`]). `RefCell`
+    /// because counter reads take `&self` but must record violations.
+    checker: Option<RefCell<ProtocolChecker>>,
 }
 
 impl Default for Pmu {
@@ -105,6 +110,22 @@ impl Pmu {
             pmi_pending: false,
             ledger_user: EventCounts::new(),
             ledger_kernel: EventCounts::new(),
+            checker: None,
+        }
+    }
+
+    /// Attaches a [`ProtocolChecker`] that validates every subsequent MSR
+    /// access against the SDM programming protocol.
+    pub fn enable_protocol_checker(&mut self) {
+        self.checker = Some(RefCell::new(ProtocolChecker::new()));
+    }
+
+    /// Violations recorded by the protocol checker so far (empty when the
+    /// checker was never enabled).
+    pub fn protocol_violations(&self) -> Vec<ProtocolViolation> {
+        match &self.checker {
+            Some(c) => c.borrow().violations().to_vec(),
+            None => Vec::new(),
         }
     }
 
@@ -115,6 +136,9 @@ impl Pmu {
     /// Returns [`PmuError::UnknownMsr`] for addresses outside the PMU register
     /// file and [`PmuError::ReadOnlyMsr`] for `IA32_PERF_GLOBAL_STATUS`.
     pub fn wrmsr(&mut self, addr: u32, value: u64) -> Result<(), PmuError> {
+        if let Some(c) = &self.checker {
+            c.borrow_mut().on_wrmsr(addr, value);
+        }
         match addr {
             msr::IA32_PMC0..=msr::IA32_PMC3 => {
                 self.pmc[(addr - msr::IA32_PMC0) as usize].write(value);
@@ -147,6 +171,9 @@ impl Pmu {
     /// Returns [`PmuError::UnknownMsr`] for addresses outside the PMU register
     /// file.
     pub fn rdmsr(&self, addr: u32) -> Result<u64, PmuError> {
+        if let Some(c) = &self.checker {
+            c.borrow_mut().on_rdmsr(addr);
+        }
         Ok(match addr {
             msr::IA32_PMC0..=msr::IA32_PMC3 => self.pmc[(addr - msr::IA32_PMC0) as usize].value(),
             msr::IA32_PERFEVTSEL0..=msr::IA32_PERFEVTSEL3 => {
@@ -178,11 +205,17 @@ impl Pmu {
             if n >= NUM_FIXED {
                 return Err(PmuError::BadPmcIndex(index));
             }
+            if let Some(c) = &self.checker {
+                c.borrow_mut().on_rdpmc_fixed(n);
+            }
             Ok(self.fixed[n].value())
         } else {
             let n = index as usize;
             if n >= NUM_PROGRAMMABLE {
                 return Err(PmuError::BadPmcIndex(index));
+            }
+            if let Some(c) = &self.checker {
+                c.borrow_mut().on_rdpmc_programmable(n);
             }
             Ok(self.pmc[n].value())
         }
@@ -239,6 +272,7 @@ impl Pmu {
     /// overflowing counter has its INT (or fixed PMI) bit set, a PMI becomes
     /// pending (see [`take_pmi`](Self::take_pmi)).
     pub fn observe(&mut self, batch: &EventCounts, privilege: Privilege) {
+        let status_before = self.global_status;
         match privilege {
             Privilege::User => self.ledger_user.merge(batch),
             Privilege::Kernel => self.ledger_kernel.merge(batch),
@@ -281,6 +315,12 @@ impl Pmu {
                 if self.fixed_pmi_enabled(n) {
                     self.pmi_pending = true;
                 }
+            }
+        }
+        let new_bits = self.global_status & !status_before;
+        if new_bits != 0 {
+            if let Some(c) = &self.checker {
+                c.borrow_mut().on_overflow(new_bits);
             }
         }
     }

@@ -1,0 +1,171 @@
+//! Misuse matrix for the runtime MSR protocol checker: each violation
+//! class is provoked deliberately and must be reported exactly once,
+//! naming the offending register — and a correctly-programmed session
+//! must report nothing.
+
+use pmu::{msr, EventCounts, EventSel, HwEvent, Pmu, Privilege, ProtocolViolation};
+
+fn checked_pmu() -> Pmu {
+    let mut pmu = Pmu::new();
+    pmu.enable_protocol_checker();
+    pmu
+}
+
+fn program_pmc0(pmu: &mut Pmu, event: HwEvent) {
+    let sel = EventSel::for_event(event).usr(true).os(true).enabled(true);
+    pmu.wrmsr(msr::perfevtsel(0), sel.bits()).unwrap();
+}
+
+#[test]
+fn clean_session_reports_nothing() {
+    let mut pmu = checked_pmu();
+    // Select, enable, count, read, disable — the documented order.
+    program_pmc0(&mut pmu, HwEvent::LlcMiss);
+    pmu.wrmsr(msr::IA32_FIXED_CTR_CTRL, 0b011).unwrap();
+    pmu.wrmsr(
+        msr::IA32_PERF_GLOBAL_CTRL,
+        msr::global_ctrl_pmc_bit(0) | msr::global_ctrl_fixed_bit(0),
+    )
+    .unwrap();
+    pmu.observe(
+        &EventCounts::new()
+            .with(HwEvent::LlcMiss, 7)
+            .with(HwEvent::InstructionsRetired, 100),
+        Privilege::User,
+    );
+    assert_eq!(pmu.rdpmc(0).unwrap(), 7);
+    assert_eq!(pmu.rdmsr(msr::IA32_PMC0).unwrap(), 7);
+    assert_eq!(pmu.rdpmc(0x4000_0000).unwrap(), 100);
+    pmu.wrmsr(msr::IA32_PERF_GLOBAL_CTRL, 0).unwrap();
+    assert_eq!(pmu.protocol_violations(), vec![]);
+}
+
+#[test]
+fn enable_before_select_names_the_select_register() {
+    let mut pmu = checked_pmu();
+    // PMC2 enabled with PERFEVTSEL2 still zero.
+    pmu.wrmsr(msr::IA32_PERF_GLOBAL_CTRL, msr::global_ctrl_pmc_bit(2))
+        .unwrap();
+    assert_eq!(
+        pmu.protocol_violations(),
+        vec![ProtocolViolation::EnableBeforeSelect {
+            msr: msr::IA32_PERFEVTSEL2
+        }]
+    );
+}
+
+#[test]
+fn enable_before_select_on_fixed_names_fixed_ctrl() {
+    let mut pmu = checked_pmu();
+    pmu.wrmsr(msr::IA32_PERF_GLOBAL_CTRL, msr::global_ctrl_fixed_bit(1))
+        .unwrap();
+    assert_eq!(
+        pmu.protocol_violations(),
+        vec![ProtocolViolation::EnableBeforeSelect {
+            msr: msr::IA32_FIXED_CTR_CTRL
+        }]
+    );
+}
+
+#[test]
+fn read_without_enable_names_the_counter() {
+    let mut pmu = checked_pmu();
+    // PMC1 selected but global-ctrl never enabled it.
+    let sel = EventSel::for_event(HwEvent::Load).usr(true).enabled(true);
+    pmu.wrmsr(msr::perfevtsel(1), sel.bits()).unwrap();
+    let _ = pmu.rdpmc(1).unwrap();
+    assert_eq!(
+        pmu.protocol_violations(),
+        vec![ProtocolViolation::ReadWithoutEnable {
+            msr: msr::IA32_PMC1
+        }]
+    );
+}
+
+#[test]
+fn read_without_enable_via_rdmsr_and_fixed() {
+    let pmu = checked_pmu();
+    let _ = pmu.rdmsr(msr::IA32_FIXED_CTR2).unwrap();
+    assert_eq!(
+        pmu.protocol_violations(),
+        vec![ProtocolViolation::ReadWithoutEnable {
+            msr: msr::IA32_FIXED_CTR2
+        }]
+    );
+}
+
+#[test]
+fn write_to_read_only_status_register() {
+    let mut pmu = checked_pmu();
+    // The register model also rejects the write; the checker records it.
+    assert!(pmu.wrmsr(msr::IA32_PERF_GLOBAL_STATUS, 0).is_err());
+    assert_eq!(
+        pmu.protocol_violations(),
+        vec![ProtocolViolation::WriteToReadOnly {
+            msr: msr::IA32_PERF_GLOBAL_STATUS
+        }]
+    );
+}
+
+#[test]
+fn read_with_pending_overflow_until_ovf_ctrl_clears_it() {
+    let mut pmu = checked_pmu();
+    program_pmc0(&mut pmu, HwEvent::InstructionsRetired);
+    pmu.wrmsr(msr::IA32_PERF_GLOBAL_CTRL, msr::global_ctrl_pmc_bit(0))
+        .unwrap();
+    // Preload one count below overflow, then push it over.
+    pmu.wrmsr(msr::IA32_PMC0, (1u64 << 48) - 1).unwrap();
+    pmu.observe(
+        &EventCounts::new().with(HwEvent::InstructionsRetired, 2),
+        Privilege::User,
+    );
+    let _ = pmu.rdpmc(0).unwrap();
+    assert_eq!(
+        pmu.protocol_violations(),
+        vec![ProtocolViolation::ReadWithPendingOverflow {
+            msr: msr::IA32_PMC0
+        }]
+    );
+    // After the sanctioned write-1-to-clear, reads are clean again — the
+    // violation list does not grow.
+    pmu.wrmsr(msr::IA32_PERF_GLOBAL_OVF_CTRL, msr::global_ctrl_pmc_bit(0))
+        .unwrap();
+    let _ = pmu.rdpmc(0).unwrap();
+    assert_eq!(pmu.protocol_violations().len(), 1);
+}
+
+#[test]
+fn repeated_misuse_is_reported_once() {
+    let pmu = checked_pmu();
+    for _ in 0..100 {
+        let _ = pmu.rdpmc(3).unwrap();
+    }
+    assert_eq!(
+        pmu.protocol_violations(),
+        vec![ProtocolViolation::ReadWithoutEnable {
+            msr: msr::IA32_PMC3
+        }]
+    );
+}
+
+#[test]
+fn context_switch_freeze_unfreeze_is_not_a_violation() {
+    let mut pmu = checked_pmu();
+    program_pmc0(&mut pmu, HwEvent::Store);
+    pmu.wrmsr(msr::IA32_PERF_GLOBAL_CTRL, msr::global_ctrl_pmc_bit(0))
+        .unwrap();
+    // The kernel's context-switch path: freeze, run someone else, unfreeze.
+    let saved = pmu.freeze();
+    pmu.unfreeze(saved);
+    pmu.observe(&EventCounts::new().with(HwEvent::Store, 3), Privilege::User);
+    assert_eq!(pmu.rdpmc(0).unwrap(), 3);
+    assert_eq!(pmu.protocol_violations(), vec![]);
+}
+
+#[test]
+fn checker_off_by_default() {
+    let mut pmu = Pmu::new();
+    let _ = pmu.rdpmc(0).unwrap();
+    assert!(pmu.wrmsr(msr::IA32_PERF_GLOBAL_STATUS, 1).is_err());
+    assert_eq!(pmu.protocol_violations(), vec![]);
+}

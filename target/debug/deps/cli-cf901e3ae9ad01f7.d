@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-cf901e3ae9ad01f7.d: crates/klint/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-cf901e3ae9ad01f7: crates/klint/tests/cli.rs
+
+crates/klint/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_klint=/root/repo/target/debug/klint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/klint

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli-ec1587d996fe4e2d.d: crates/klint/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-ec1587d996fe4e2d.rmeta: crates/klint/tests/cli.rs Cargo.toml
+
+crates/klint/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_klint=placeholder:klint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/klint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/fleet-3b72993fcf87a8ed.d: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
+/root/repo/target/debug/deps/fleet-3b72993fcf87a8ed.d: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
 
-/root/repo/target/debug/deps/libfleet-3b72993fcf87a8ed.rlib: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
+/root/repo/target/debug/deps/libfleet-3b72993fcf87a8ed.rlib: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
 
-/root/repo/target/debug/deps/libfleet-3b72993fcf87a8ed.rmeta: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
+/root/repo/target/debug/deps/libfleet-3b72993fcf87a8ed.rmeta: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
 
 crates/fleet/src/lib.rs:
 crates/fleet/src/channel.rs:
+crates/fleet/src/clock.rs:
 crates/fleet/src/detect.rs:
 crates/fleet/src/metrics.rs:
 crates/fleet/src/runner.rs:

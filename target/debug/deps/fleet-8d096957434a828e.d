@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/fleet-8d096957434a828e.d: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/fleet-8d096957434a828e.d: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfleet-8d096957434a828e.rmeta: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/libfleet-8d096957434a828e.rmeta: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs Cargo.toml
 
 crates/fleet/src/lib.rs:
 crates/fleet/src/channel.rs:
+crates/fleet/src/clock.rs:
 crates/fleet/src/detect.rs:
 crates/fleet/src/metrics.rs:
 crates/fleet/src/runner.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/fleet-f414a7dac3ec5b71.d: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
+/root/repo/target/debug/deps/fleet-f414a7dac3ec5b71.d: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
 
-/root/repo/target/debug/deps/fleet-f414a7dac3ec5b71: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
+/root/repo/target/debug/deps/fleet-f414a7dac3ec5b71: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
 
 crates/fleet/src/lib.rs:
 crates/fleet/src/channel.rs:
+crates/fleet/src/clock.rs:
 crates/fleet/src/detect.rs:
 crates/fleet/src/metrics.rs:
 crates/fleet/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/klint-0a73f90fabf07fb4.d: crates/klint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libklint-0a73f90fabf07fb4.rmeta: crates/klint/src/main.rs Cargo.toml
+
+crates/klint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/klint-1d037c35dc5880b9.d: crates/klint/src/main.rs
+
+/root/repo/target/debug/deps/klint-1d037c35dc5880b9: crates/klint/src/main.rs
+
+crates/klint/src/main.rs:

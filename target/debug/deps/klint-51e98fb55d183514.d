@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/klint-51e98fb55d183514.d: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs
+
+/root/repo/target/debug/deps/klint-51e98fb55d183514: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs
+
+crates/klint/src/lib.rs:
+crates/klint/src/baseline.rs:
+crates/klint/src/lexer.rs:
+crates/klint/src/rules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/klint-56806db1f68c1d53.d: crates/klint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libklint-56806db1f68c1d53.rmeta: crates/klint/src/main.rs Cargo.toml
+
+crates/klint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

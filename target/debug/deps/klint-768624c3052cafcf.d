@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/klint-768624c3052cafcf.d: crates/klint/src/main.rs
+
+/root/repo/target/debug/deps/klint-768624c3052cafcf: crates/klint/src/main.rs
+
+crates/klint/src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/klint-d8c3e723a604876b.d: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libklint-d8c3e723a604876b.rmeta: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs Cargo.toml
+
+crates/klint/src/lib.rs:
+crates/klint/src/baseline.rs:
+crates/klint/src/lexer.rs:
+crates/klint/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

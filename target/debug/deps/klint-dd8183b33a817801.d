@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/klint-dd8183b33a817801.d: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs
+
+/root/repo/target/debug/deps/libklint-dd8183b33a817801.rlib: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs
+
+/root/repo/target/debug/deps/libklint-dd8183b33a817801.rmeta: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs
+
+crates/klint/src/lib.rs:
+crates/klint/src/baseline.rs:
+crates/klint/src/lexer.rs:
+crates/klint/src/rules.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/pmu-bbad556dd9195c5b.d: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs
+/root/repo/target/debug/deps/pmu-bbad556dd9195c5b.d: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs
 
-/root/repo/target/debug/deps/pmu-bbad556dd9195c5b: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs
+/root/repo/target/debug/deps/pmu-bbad556dd9195c5b: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs
 
 crates/pmu/src/lib.rs:
 crates/pmu/src/counter.rs:
@@ -8,4 +8,5 @@ crates/pmu/src/event.rs:
 crates/pmu/src/eventsel.rs:
 crates/pmu/src/msr.rs:
 crates/pmu/src/multiplex.rs:
+crates/pmu/src/protocol.rs:
 crates/pmu/src/unit.rs:

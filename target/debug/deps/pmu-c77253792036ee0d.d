@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/pmu-c77253792036ee0d.d: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs Cargo.toml
+/root/repo/target/debug/deps/pmu-c77253792036ee0d.d: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpmu-c77253792036ee0d.rmeta: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs Cargo.toml
+/root/repo/target/debug/deps/libpmu-c77253792036ee0d.rmeta: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs Cargo.toml
 
 crates/pmu/src/lib.rs:
 crates/pmu/src/counter.rs:
@@ -8,6 +8,7 @@ crates/pmu/src/event.rs:
 crates/pmu/src/eventsel.rs:
 crates/pmu/src/msr.rs:
 crates/pmu/src/multiplex.rs:
+crates/pmu/src/protocol.rs:
 crates/pmu/src/unit.rs:
 Cargo.toml:
 

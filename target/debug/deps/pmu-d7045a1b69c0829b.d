@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/pmu-d7045a1b69c0829b.d: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs
+/root/repo/target/debug/deps/pmu-d7045a1b69c0829b.d: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs
 
-/root/repo/target/debug/deps/libpmu-d7045a1b69c0829b.rlib: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs
+/root/repo/target/debug/deps/libpmu-d7045a1b69c0829b.rlib: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs
 
-/root/repo/target/debug/deps/libpmu-d7045a1b69c0829b.rmeta: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs
+/root/repo/target/debug/deps/libpmu-d7045a1b69c0829b.rmeta: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs
 
 crates/pmu/src/lib.rs:
 crates/pmu/src/counter.rs:
@@ -10,4 +10,5 @@ crates/pmu/src/event.rs:
 crates/pmu/src/eventsel.rs:
 crates/pmu/src/msr.rs:
 crates/pmu/src/multiplex.rs:
+crates/pmu/src/protocol.rs:
 crates/pmu/src/unit.rs:

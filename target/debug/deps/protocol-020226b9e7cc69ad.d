@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-020226b9e7cc69ad.d: crates/baselines/tests/protocol.rs
+
+/root/repo/target/debug/deps/protocol-020226b9e7cc69ad: crates/baselines/tests/protocol.rs
+
+crates/baselines/tests/protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-0d4ad626f9371880.d: crates/baselines/tests/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-0d4ad626f9371880.rmeta: crates/baselines/tests/protocol.rs Cargo.toml
+
+crates/baselines/tests/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

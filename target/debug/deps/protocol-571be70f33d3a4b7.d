@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-571be70f33d3a4b7.d: crates/pmu/tests/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-571be70f33d3a4b7.rmeta: crates/pmu/tests/protocol.rs Cargo.toml
+
+crates/pmu/tests/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

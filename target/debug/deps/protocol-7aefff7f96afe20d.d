@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-7aefff7f96afe20d.d: crates/pmu/tests/protocol.rs
+
+/root/repo/target/debug/deps/protocol-7aefff7f96afe20d: crates/pmu/tests/protocol.rs
+
+crates/pmu/tests/protocol.rs:

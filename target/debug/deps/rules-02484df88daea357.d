@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rules-02484df88daea357.d: crates/klint/tests/rules.rs
+
+/root/repo/target/debug/deps/rules-02484df88daea357: crates/klint/tests/rules.rs
+
+crates/klint/tests/rules.rs:

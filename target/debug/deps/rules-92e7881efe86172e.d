@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rules-92e7881efe86172e.d: crates/klint/tests/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/librules-92e7881efe86172e.rmeta: crates/klint/tests/rules.rs Cargo.toml
+
+crates/klint/tests/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

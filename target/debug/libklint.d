@@ -1,0 +1,1 @@
+/root/repo/target/debug/libklint.rlib: /root/repo/crates/klint/src/baseline.rs /root/repo/crates/klint/src/lexer.rs /root/repo/crates/klint/src/lib.rs /root/repo/crates/klint/src/rules.rs

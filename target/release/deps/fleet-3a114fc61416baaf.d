@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/fleet-3a114fc61416baaf.d: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
+/root/repo/target/release/deps/fleet-3a114fc61416baaf.d: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
 
-/root/repo/target/release/deps/libfleet-3a114fc61416baaf.rlib: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
+/root/repo/target/release/deps/libfleet-3a114fc61416baaf.rlib: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
 
-/root/repo/target/release/deps/libfleet-3a114fc61416baaf.rmeta: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
+/root/repo/target/release/deps/libfleet-3a114fc61416baaf.rmeta: crates/fleet/src/lib.rs crates/fleet/src/channel.rs crates/fleet/src/clock.rs crates/fleet/src/detect.rs crates/fleet/src/metrics.rs crates/fleet/src/runner.rs crates/fleet/src/store.rs
 
 crates/fleet/src/lib.rs:
 crates/fleet/src/channel.rs:
+crates/fleet/src/clock.rs:
 crates/fleet/src/detect.rs:
 crates/fleet/src/metrics.rs:
 crates/fleet/src/runner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/klint-0951f9abdfae17e8.d: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs
+
+/root/repo/target/release/deps/libklint-0951f9abdfae17e8.rlib: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs
+
+/root/repo/target/release/deps/libklint-0951f9abdfae17e8.rmeta: crates/klint/src/lib.rs crates/klint/src/baseline.rs crates/klint/src/lexer.rs crates/klint/src/rules.rs
+
+crates/klint/src/lib.rs:
+crates/klint/src/baseline.rs:
+crates/klint/src/lexer.rs:
+crates/klint/src/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/klint-bd98c69be3034283.d: crates/klint/src/main.rs
+
+/root/repo/target/release/deps/klint-bd98c69be3034283: crates/klint/src/main.rs
+
+crates/klint/src/main.rs:

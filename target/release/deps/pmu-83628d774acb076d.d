@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/pmu-83628d774acb076d.d: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs
+/root/repo/target/release/deps/pmu-83628d774acb076d.d: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs
 
-/root/repo/target/release/deps/libpmu-83628d774acb076d.rlib: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs
+/root/repo/target/release/deps/libpmu-83628d774acb076d.rlib: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs
 
-/root/repo/target/release/deps/libpmu-83628d774acb076d.rmeta: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/unit.rs
+/root/repo/target/release/deps/libpmu-83628d774acb076d.rmeta: crates/pmu/src/lib.rs crates/pmu/src/counter.rs crates/pmu/src/event.rs crates/pmu/src/eventsel.rs crates/pmu/src/msr.rs crates/pmu/src/multiplex.rs crates/pmu/src/protocol.rs crates/pmu/src/unit.rs
 
 crates/pmu/src/lib.rs:
 crates/pmu/src/counter.rs:
@@ -10,4 +10,5 @@ crates/pmu/src/event.rs:
 crates/pmu/src/eventsel.rs:
 crates/pmu/src/msr.rs:
 crates/pmu/src/multiplex.rs:
+crates/pmu/src/protocol.rs:
 crates/pmu/src/unit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-eb37a97f036193ab.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-eb37a97f036193ab: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -19,4 +19,8 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> chaos gate (fault injection: accounting, determinism, recovery)"
+cargo test -q --test chaos
+cargo run -q --release --example fault_matrix -- --quick
+
 echo "==> OK"

@@ -14,10 +14,11 @@ fn batch(len: u64) -> Vec<Sample> {
     (0..len)
         .map(|i| Sample {
             timestamp_ns: (i + 1) * 100_000,
+            seq: i,
             pid: 7,
-            final_sample: false,
             fixed: [1_000 + i, 2_670 * (i + 1), 2_000],
             pmc: [40 + i % 11, 7 + i % 3, 0, 0],
+            ..Sample::default()
         })
         .collect()
 }

@@ -181,6 +181,17 @@ impl Drop for Sender {
     }
 }
 
+/// What [`Receiver::recv_timeout`] observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecvTimeout {
+    /// A batch arrived within the window.
+    Batch(Batch),
+    /// The window elapsed with the queue empty but senders still alive.
+    Timeout,
+    /// Every sender has dropped and the queue is drained.
+    Disconnected,
+}
+
 /// The collector end.
 #[derive(Debug)]
 pub struct Receiver {
@@ -204,6 +215,40 @@ impl Receiver {
                 return None;
             }
             inner = self.shared.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Dequeues the next batch, waiting at most `timeout` while the queue
+    /// is empty. Unlike [`Receiver::recv`], this gives the collector a
+    /// heartbeat: a [`RecvTimeout::Timeout`] return means "no machine has
+    /// produced anything lately" — exactly the signal the stream watchdog
+    /// needs to notice a stalled monitor.
+    ///
+    /// A spurious condvar wakeup restarts the wait, so total blocking can
+    /// exceed `timeout` by a bounded amount; the watchdog only needs an
+    /// *eventual* poll, not a precise one (and measuring the overshoot
+    /// would take a wall-clock read, which determinism rule D1 forbids).
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> RecvTimeout {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if let Some(batch) = inner.queue.pop_front() {
+                inner.delivered[batch.machine] += batch.samples.len() as u64;
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return RecvTimeout::Batch(batch);
+            }
+            if inner.senders == 0 {
+                return RecvTimeout::Disconnected;
+            }
+            let (guard, result) = self.shared.not_empty.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+            if result.timed_out() && inner.queue.is_empty() {
+                return if inner.senders == 0 {
+                    RecvTimeout::Disconnected
+                } else {
+                    RecvTimeout::Timeout
+                };
+            }
         }
     }
 
@@ -239,9 +284,9 @@ mod tests {
         Sample {
             timestamp_ns: t,
             pid: 1,
-            final_sample: false,
             fixed: [t, 0, 0],
             pmc: [0; 4],
+            ..Sample::default()
         }
     }
 
@@ -315,6 +360,38 @@ mod tests {
         assert_eq!(received, stats.total_sent());
         assert_eq!(stats.delivered, stats.sent);
         assert!(stats.depth_high_water <= 2);
+    }
+
+    #[test]
+    fn recv_timeout_sees_batches_then_timeouts_then_disconnect() {
+        let (tx, rx) = bounded(1, 4, Backpressure::Block);
+        tx[0].send(batch_of(2));
+        let got = rx.recv_timeout(std::time::Duration::from_millis(50));
+        assert!(matches!(got, RecvTimeout::Batch(ref b) if b.samples.len() == 2));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            RecvTimeout::Timeout,
+            "queue empty, sender alive"
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(50)),
+            RecvTimeout::Disconnected
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        let (mut tx, rx) = bounded(1, 4, Backpressure::Block);
+        let sender = tx.remove(0);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            sender.send(batch_of(1));
+        });
+        // Generous window: the send lands well inside it.
+        let got = rx.recv_timeout(std::time::Duration::from_secs(5));
+        assert!(matches!(got, RecvTimeout::Batch(_)));
+        h.join().unwrap();
     }
 
     #[test]

@@ -162,10 +162,11 @@ mod tests {
                     let mpki_target = if m == 0 { 30 } else { 7 + (m as u64 % 3) };
                     Sample {
                         timestamp_ns: (i + 1) * 100_000,
+                        seq: i,
                         pid: m as u32 + 2,
-                        final_sample: false,
                         fixed: [instr, instr * 3, instr * 2],
                         pmc: [instr * mpki_target / 1000, 0, 0, 0],
+                        ..Sample::default()
                     }
                 })
                 .collect();
@@ -193,10 +194,11 @@ mod tests {
             let batch: Vec<Sample> = (0..50u64)
                 .map(|i| Sample {
                     timestamp_ns: (i + 1) * 100_000,
+                    seq: i,
                     pid: 2,
-                    final_sample: false,
                     fixed: [1_000, 3_000, 2_000],
                     pmc: [m as u64 % 4, 0, 0, 0], // ≤ 4 MPKI: below the floor
+                    ..Sample::default()
                 })
                 .collect();
             store.ingest(m, &batch);

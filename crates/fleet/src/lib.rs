@@ -35,8 +35,9 @@ pub mod detect;
 pub mod metrics;
 pub mod runner;
 pub mod store;
+pub mod watchdog;
 
-pub use channel::{bounded, Backpressure, Batch, ChannelStats, Receiver, Sender};
+pub use channel::{bounded, Backpressure, Batch, ChannelStats, Receiver, RecvTimeout, Sender};
 pub use clock::{Clock, MonotonicClock, TickClock};
 pub use detect::{scan_fleet, verdict_table, AnomalyConfig, FleetAnomalyReport, MachineVerdict};
 pub use metrics::{FleetMetrics, LatencyHistogram};
@@ -44,3 +45,4 @@ pub use runner::{
     FleetConfig, FleetError, FleetOutcome, FleetRunner, MachineReport, MachineSpec, WorkloadFactory,
 };
 pub use store::{FleetStore, Lane, MachineSnapshot, Point, StoreStats, Window};
+pub use watchdog::{StreamWatchdog, WatchdogEvent, WatchdogReport};

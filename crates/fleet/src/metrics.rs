@@ -78,6 +78,8 @@ pub struct FleetMetrics {
     samples_dropped: AtomicU64,
     samples_rejected: AtomicU64,
     channel_depth_hwm: AtomicU64,
+    stream_stalls: AtomicU64,
+    stream_resumes: AtomicU64,
     /// Wall time from a batch leaving the queue to its samples resting in
     /// the store.
     drain_latency: LatencyHistogram,
@@ -104,6 +106,17 @@ impl FleetMetrics {
     /// Adds samples the store refused (timestamp regression).
     pub fn add_rejected(&self, samples: u64) {
         self.samples_rejected.fetch_add(samples, Ordering::Relaxed);
+    }
+
+    /// Records one watchdog stall episode (a stream went silent past the
+    /// stall timeout and was quarantined).
+    pub fn add_stall(&self) {
+        self.stream_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one watchdog resume (a quarantined stream came back).
+    pub fn add_resume(&self) {
+        self.stream_resumes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Raises the recorded channel-depth high-water mark to `depth`.
@@ -134,6 +147,16 @@ impl FleetMetrics {
     /// Deepest the channel ever got, in batches.
     pub fn channel_depth_hwm(&self) -> u64 {
         self.channel_depth_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Watchdog stall episodes so far.
+    pub fn stream_stalls(&self) -> u64 {
+        self.stream_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Watchdog resumes so far.
+    pub fn stream_resumes(&self) -> u64 {
+        self.stream_resumes.load(Ordering::Relaxed)
     }
 
     /// The drain-latency histogram.
@@ -169,6 +192,14 @@ impl FleetMetrics {
         t.row_owned(vec![
             "channel depth high-water".into(),
             format!("{} batches", self.channel_depth_hwm()),
+        ]);
+        t.row_owned(vec![
+            "stream stalls".into(),
+            self.stream_stalls().to_string(),
+        ]);
+        t.row_owned(vec![
+            "stream resumes".into(),
+            self.stream_resumes().to_string(),
         ]);
         t.row_owned(vec!["drain latency p50".into(), lat(50.0)]);
         t.row_owned(vec!["drain latency p90".into(), lat(90.0)]);
@@ -206,12 +237,17 @@ mod tests {
         m.record_batch(5, 2_000);
         m.add_dropped(3);
         m.add_rejected(1);
+        m.add_stall();
+        m.add_stall();
+        m.add_resume();
         m.observe_depth_hwm(4);
         m.observe_depth_hwm(2);
         assert_eq!(m.samples_ingested(), 15);
         assert_eq!(m.batches_ingested(), 2);
         assert_eq!(m.samples_dropped(), 3);
         assert_eq!(m.samples_rejected(), 1);
+        assert_eq!(m.stream_stalls(), 2);
+        assert_eq!(m.stream_resumes(), 1);
         assert_eq!(m.channel_depth_hwm(), 4, "hwm is monotone");
         assert_eq!(m.drain_latency().count(), 2);
     }
@@ -226,6 +262,8 @@ mod tests {
             "ingest rate",
             "samples dropped",
             "channel depth high-water",
+            "stream stalls",
+            "stream resumes",
             "drain latency p99",
         ] {
             assert!(out.contains(needle), "missing {needle} in:\n{out}");

@@ -21,10 +21,11 @@ use kleb::{KlebTuning, Monitor, MonitorOutcome, Sample, SampleSink};
 use ksim::{Duration, Machine, MachineConfig, Workload};
 use pmu::HwEvent;
 
-use crate::channel::{bounded, Backpressure, ChannelStats, Sender};
+use crate::channel::{bounded, Backpressure, ChannelStats, RecvTimeout, Sender};
 use crate::clock::{Clock, MonotonicClock};
 use crate::metrics::FleetMetrics;
 use crate::store::FleetStore;
+use crate::watchdog::{StreamWatchdog, WatchdogEvent, WatchdogReport};
 
 // The whole pipeline hinges on machines being buildable and runnable off
 // the spawning thread; keep that a compile-time fact.
@@ -88,6 +89,14 @@ pub struct FleetConfig {
     pub shard_capacity: usize,
     /// Machine hardware model, built from the spec's seed.
     pub machine_config: fn(u64) -> MachineConfig,
+    /// Fault plan injected into every machine (overriding whatever
+    /// `machine_config` chose). `None` leaves the machines fault-free —
+    /// the default, keeping clean runs bit-identical to a fleet that
+    /// never heard of faults.
+    pub faults: Option<ksim::FaultPlan>,
+    /// How long a stream may stay silent before the watchdog quarantines
+    /// it. Measured on the collector's [`Clock`].
+    pub stall_timeout: std::time::Duration,
     /// Time source for collector self-timing (ingest latency, elapsed).
     /// Defaults to the real [`MonotonicClock`]; inject a
     /// [`crate::TickClock`] for reproducible timing under `--seed`.
@@ -107,6 +116,8 @@ impl FleetConfig {
             backpressure: Backpressure::Block,
             shard_capacity: 64 * 1024,
             machine_config: MachineConfig::i7_920,
+            faults: None,
+            stall_timeout: std::time::Duration::from_secs(2),
             clock: Arc::new(MonotonicClock::new()),
         }
     }
@@ -144,6 +155,18 @@ impl FleetConfig {
     /// Overrides the collector's time source.
     pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Injects a fault plan into every machine of the fleet.
+    pub fn faults(mut self, plan: ksim::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the watchdog's stall timeout.
+    pub fn stall_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.stall_timeout = timeout;
         self
     }
 }
@@ -195,6 +218,9 @@ pub struct FleetOutcome {
     pub channel: ChannelStats,
     /// The collector's self-metrics.
     pub metrics: Arc<FleetMetrics>,
+    /// What the stream watchdog saw: per-machine stall/resume episodes
+    /// and any machine still quarantined at the end.
+    pub watchdog: WatchdogReport,
     /// Collector wall-clock time, for rate reporting.
     pub elapsed: std::time::Duration,
 }
@@ -261,9 +287,14 @@ impl FleetRunner {
             let monitor =
                 Monitor::new(&self.config.events, self.config.period).tuning(self.config.tuning);
             let machine_config = self.config.machine_config;
+            let faults = self.config.faults;
             let label = spec.label.clone();
             let handle = std::thread::spawn(move || {
-                let mut machine = Machine::new(machine_config(spec.seed));
+                let mut config = machine_config(spec.seed);
+                if let Some(plan) = faults {
+                    config.faults = plan;
+                }
+                let mut machine = Machine::new(config);
                 let workload = (spec.workload)(spec.seed);
                 let outcome = monitor
                     .run_with_sink(
@@ -284,14 +315,49 @@ impl FleetRunner {
         drop(senders_iter);
 
         // Collector loop: drain until every sender (inside the machine
-        // workloads) has dropped and the queue is empty.
-        while let Some(batch) = receiver.recv() {
-            let t0_ns = clock.now_ns();
-            let (_, rejected) = store.ingest(batch.machine, &batch.samples);
-            let latency = clock.now_ns().saturating_sub(t0_ns);
-            metrics.record_batch(batch.samples.len() as u64, latency);
-            if rejected > 0 {
-                metrics.add_rejected(rejected);
+        // workloads) has dropped and the queue is empty, polling often
+        // enough that the watchdog notices silence well inside the stall
+        // timeout.
+        let mut watchdog = StreamWatchdog::new(
+            n,
+            self.config.stall_timeout.as_nanos().max(1) as u64,
+            started_ns,
+        );
+        let poll = (self.config.stall_timeout / 4).max(std::time::Duration::from_millis(1));
+        loop {
+            match receiver.recv_timeout(poll) {
+                RecvTimeout::Batch(batch) => {
+                    let t0_ns = clock.now_ns();
+                    let (_, rejected) = store.ingest(batch.machine, &batch.samples);
+                    let t1_ns = clock.now_ns();
+                    metrics.record_batch(batch.samples.len() as u64, t1_ns.saturating_sub(t0_ns));
+                    if rejected > 0 {
+                        metrics.add_rejected(rejected);
+                    }
+                    if let Some(WatchdogEvent::Resumed { .. }) =
+                        watchdog.observe(batch.machine, t1_ns)
+                    {
+                        metrics.add_resume();
+                    }
+                    if batch.samples.iter().any(|s| s.final_sample) {
+                        // The stream's last record is drained: it may go
+                        // silent forever without that being a stall.
+                        watchdog.mark_done(batch.machine);
+                    }
+                    for event in watchdog.scan(t1_ns) {
+                        if let WatchdogEvent::Stalled { .. } = event {
+                            metrics.add_stall();
+                        }
+                    }
+                }
+                RecvTimeout::Timeout => {
+                    for event in watchdog.scan(clock.now_ns()) {
+                        if let WatchdogEvent::Stalled { .. } = event {
+                            metrics.add_stall();
+                        }
+                    }
+                }
+                RecvTimeout::Disconnected => break,
             }
         }
         let elapsed = std::time::Duration::from_nanos(clock.now_ns().saturating_sub(started_ns));
@@ -325,6 +391,7 @@ impl FleetRunner {
             machines,
             channel,
             metrics,
+            watchdog: watchdog.report(),
             elapsed,
         })
     }
@@ -426,5 +493,64 @@ mod tests {
         let outcome = FleetRunner::new(quick_config()).run(vec![spec(0)]).unwrap();
         let table = outcome.metrics_table();
         assert!(table.contains("samples ingested"));
+        assert!(table.contains("stream stalls"));
+    }
+
+    #[test]
+    fn healthy_fleet_reports_no_stalls() {
+        let outcome = FleetRunner::new(quick_config())
+            .run((0..3).map(spec).collect())
+            .unwrap();
+        assert_eq!(outcome.watchdog.total_stalls(), 0);
+        assert!(outcome.watchdog.all_recovered());
+        assert_eq!(outcome.metrics.stream_stalls(), 0);
+    }
+
+    #[test]
+    fn injected_fault_plan_reaches_every_machine() {
+        let outcome = FleetRunner::new(quick_config().faults(ksim::FaultPlan::ring_pressure(0.5)))
+            .run((0..3).map(spec).collect())
+            .unwrap();
+        for report in &outcome.machines {
+            let status = &report.outcome.status;
+            assert!(
+                status.samples_dropped > 0,
+                "machine {} saw no ring pressure",
+                report.label
+            );
+            // The module's ledger stays exact under injected pressure.
+            assert_eq!(
+                report.outcome.samples.len() as u64 + status.samples_dropped,
+                status.samples_taken,
+                "machine {}",
+                report.label
+            );
+        }
+    }
+
+    #[test]
+    fn hair_trigger_watchdog_stalls_and_recovers_losslessly() {
+        // A 1ns stall timeout quarantines every stream at the first scan
+        // after any gap — exercising the stall/resume path without needing
+        // a genuinely wedged machine. The run must still be lossless.
+        let outcome =
+            FleetRunner::new(quick_config().stall_timeout(std::time::Duration::from_nanos(1)))
+                .run((0..2).map(spec).collect())
+                .unwrap();
+        assert!(outcome.watchdog.total_stalls() >= 1);
+        assert!(
+            outcome.watchdog.all_recovered(),
+            "every machine finished, none left quarantined: {:?}",
+            outcome.watchdog
+        );
+        assert_eq!(outcome.channel.total_dropped(), 0, "Block stays lossless");
+        assert_eq!(
+            outcome.metrics.samples_ingested(),
+            outcome.channel.total_sent()
+        );
+        assert_eq!(
+            outcome.metrics.stream_stalls(),
+            outcome.watchdog.total_stalls()
+        );
     }
 }

@@ -310,9 +310,9 @@ mod tests {
         Sample {
             timestamp_ns: t,
             pid: 1,
-            final_sample: false,
             fixed: [instr, instr * 2, instr * 3],
             pmc: [0, miss, 0, 0],
+            ..Sample::default()
         }
     }
 

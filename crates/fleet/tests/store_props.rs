@@ -15,9 +15,9 @@ fn sample(timestamp_ns: u64, payload: u64) -> Sample {
     Sample {
         timestamp_ns,
         pid: 1,
-        final_sample: false,
         fixed: [payload, payload ^ 0xA5, payload.rotate_left(7)],
         pmc: [payload % 97, payload % 89, 0, 0],
+        ..Sample::default()
     }
 }
 

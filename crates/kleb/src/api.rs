@@ -68,6 +68,9 @@ pub struct MonitorOutcome {
     /// The events programmed on the programmable counters, in `pmc[i]`
     /// order.
     pub events: Vec<HwEvent>,
+    /// Fault-recovery accounting from the controller (retries, kicks,
+    /// degraded-mode escalations). All zero on a healthy machine.
+    pub recovery: crate::controller::RecoveryStats,
 }
 
 impl MonitorOutcome {
@@ -256,6 +259,7 @@ impl Monitor {
             target: target_info,
             status: guard.final_status.unwrap_or_default(),
             events: self.events.clone(),
+            recovery: guard.recovery,
         })
     }
 }

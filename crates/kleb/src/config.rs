@@ -17,6 +17,18 @@ pub const IOCTL_START: u64 = 0x4B02;
 pub const IOCTL_STOP: u64 = 0x4B03;
 /// `ioctl` request: query module status (out payload = JSON [`ModuleStatus`]).
 pub const IOCTL_STATUS: u64 = 0x4B04;
+/// `ioctl` request: kick a stalled sampling timer. If the module is
+/// running/active and its periodic deadline has sailed past without the
+/// expiry ever firing (a lost hrtimer interrupt — see
+/// [`ksim::FaultClass::TimerMiss`]), the timer is re-armed from now.
+/// Returns 1 if a stall was repaired, 0 if there was nothing to do.
+pub const IOCTL_KICK: u64 = 0x4B05;
+/// `ioctl` request: change the sampling period of a configured monitor
+/// (payload = little-endian `u64` nanoseconds; takes effect at the next
+/// re-arm). This is the controller's degraded-mode lever: when drops
+/// exceed its threshold it doubles the period to shed pressure rather
+/// than losing samples silently.
+pub const IOCTL_SET_PERIOD: u64 = 0x4B06;
 
 /// The fastest period the paper recommends (§III): below 100 µs, timer
 /// jitter becomes a significant fraction of the period.
@@ -100,6 +112,7 @@ jsonlite::json_struct!(ModuleStatus {
     samples_dropped,
     pauses,
     paused,
+    period_ns,
 });
 
 impl From<HwEvent> for HwEventCode {
@@ -192,14 +205,21 @@ pub struct ModuleStatus {
     pub buffered: u64,
     /// Total samples taken since start.
     pub samples_taken: u64,
-    /// Samples dropped (never: the safety stop pauses instead; kept for
-    /// interface completeness).
+    /// Samples taken but lost before they could be buffered (ring-buffer
+    /// pressure, [`ksim::FaultClass::RingSlot`]). Zero on a healthy
+    /// machine: the safety stop pauses instead of dropping — but under
+    /// injected pressure every loss is counted here, never silent.
+    /// Invariant: `drained + samples_dropped + buffered == samples_taken`.
     pub samples_dropped: u64,
     /// Times the safety mechanism paused collection because the buffer
     /// filled before the controller drained it (paper §III).
     pub pauses: u64,
     /// Whether collection is currently paused by the safety mechanism.
     pub paused: bool,
+    /// The sampling period currently in effect, nanoseconds (changes when
+    /// the controller degrades via [`IOCTL_SET_PERIOD`]). Zero when no
+    /// monitor is configured.
+    pub period_ns: u64,
 }
 
 impl ModuleStatus {
@@ -296,9 +316,10 @@ mod tests {
             target_alive: true,
             buffered: 7,
             samples_taken: 100,
-            samples_dropped: 0,
+            samples_dropped: 3,
             pauses: 1,
             paused: false,
+            period_ns: 100_000,
         };
         assert_eq!(ModuleStatus::from_payload(&s.to_payload()), Some(s));
     }

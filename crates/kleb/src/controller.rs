@@ -13,10 +13,11 @@
 
 use std::sync::{Arc, Mutex};
 
-use ksim::{DeviceId, Duration, ItemResult, Pid, Syscall, WorkBlock, WorkItem, Workload};
+use ksim::{DeviceId, Duration, Errno, ItemResult, Pid, Syscall, WorkBlock, WorkItem, Workload};
 
 use crate::config::{
-    ModuleStatus, MonitorConfig, IOCTL_CONFIG, IOCTL_START, IOCTL_STATUS, IOCTL_STOP,
+    ModuleStatus, MonitorConfig, IOCTL_CONFIG, IOCTL_KICK, IOCTL_SET_PERIOD, IOCTL_START,
+    IOCTL_STATUS, IOCTL_STOP,
 };
 use crate::sample::{Sample, RECORD_BYTES};
 
@@ -35,6 +36,28 @@ pub trait SampleSink: Send + std::fmt::Debug {
     fn on_complete(&mut self) {}
 }
 
+/// What the controller did to survive a degraded machine: every retry,
+/// kick and period escalation is counted here so chaos runs can prove the
+/// degradation was bounded and accounted, never silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// `read()` drains that came back `EAGAIN` and were retried with
+    /// backoff.
+    pub drain_retries: u64,
+    /// Drains abandoned after the per-drain retry budget ran out (the
+    /// records stay buffered for the next round).
+    pub drains_abandoned: u64,
+    /// `IOCTL_KICK`s issued after `samples_taken` froze between polls.
+    pub kicks: u64,
+    /// Kicks the module confirmed repaired a stalled timer.
+    pub kicks_honoured: u64,
+    /// Degraded-mode period doublings issued via `IOCTL_SET_PERIOD`.
+    pub period_doublings: u32,
+    /// Latched true the first time drop pressure pushed the controller
+    /// into degraded mode.
+    pub degraded: bool,
+}
+
 /// Shared result channel between the controller process and the host code
 /// that spawned it.
 #[derive(Debug, Default)]
@@ -47,6 +70,8 @@ pub struct ControllerReport {
     pub error: Option<String>,
     /// Number of `read()` drains performed.
     pub drains: u64,
+    /// Fault-recovery accounting (all zero on a healthy machine).
+    pub recovery: RecoveryStats,
 }
 
 /// Handle to a [`ControllerReport`] shared with a running controller.
@@ -72,6 +97,18 @@ pub(crate) fn lock_report(report: &SharedReport) -> std::sync::MutexGuard<'_, Co
 const LOG_INSTRUCTIONS_PER_RECORD: u64 = 120;
 const LOG_CYCLES_PER_RECORD: u64 = 220;
 
+/// Retries per drain before giving up until the next round.
+const MAX_DRAIN_RETRIES: u32 = 4;
+/// Retries for the post-STOP drain loop: generous, because abandoned
+/// records here would be lost for good (`drained + dropped == taken` must
+/// still balance after a chaotic run).
+const MAX_FINAL_DRAIN_RETRIES: u32 = 64;
+/// Degraded-mode trigger: more than this many new drops between two
+/// status polls means the machine cannot sustain the current period.
+const DEGRADE_DROP_THRESHOLD: u64 = 4;
+/// Bound on degraded-mode escalations (8x the original period at most).
+const MAX_PERIOD_DOUBLINGS: u32 = 3;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Config,
@@ -82,6 +119,8 @@ enum Phase {
     Log { drained: usize },
     Status,
     Stop,
+    AfterKick,
+    AfterSetPeriod,
     FinalDrain,
     FinalStatus,
     Done,
@@ -101,6 +140,16 @@ pub struct Controller {
     report: SharedReport,
     sink: Option<Box<dyn SampleSink>>,
     phase: Phase,
+    /// EAGAIN retries consumed for the drain in flight.
+    drain_attempt: u32,
+    /// EAGAIN retries consumed by the post-STOP drain loop.
+    final_attempt: u32,
+    /// `samples_taken` at the previous status poll (stall detector).
+    last_taken: Option<u64>,
+    /// `samples_dropped` at the previous status poll (degrade detector).
+    last_dropped: u64,
+    /// Period doublings issued so far.
+    doublings: u32,
 }
 
 impl Controller {
@@ -123,6 +172,11 @@ impl Controller {
             report,
             sink: None,
             phase: Phase::Config,
+            drain_attempt: 0,
+            final_attempt: 0,
+            last_taken: None,
+            last_dropped: 0,
+            doublings: 0,
         }
     }
 
@@ -175,6 +229,14 @@ impl Controller {
             max_bytes: 1 << 20,
         })
     }
+
+    /// Deterministic exponential backoff before retrying a failed drain:
+    /// 1/16th of the drain interval, doubling per attempt. No randomness —
+    /// same seed, same chaos, same schedule.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base_ns = (self.drain_interval.as_nanos() / 16).max(10_000);
+        Duration::from_nanos(base_ns << attempt.min(6))
+    }
 }
 
 impl Workload for Controller {
@@ -216,6 +278,23 @@ impl Workload for Controller {
                     return Some(self.read());
                 }
                 Phase::Log { .. } => {
+                    // A failed drain (EAGAIN) is retried with deterministic
+                    // backoff, up to a bounded budget; then we give up until
+                    // the next round (records stay buffered in the kernel).
+                    if prev.retval() == Some(Errno::Again.as_retval()) {
+                        if self.drain_attempt < MAX_DRAIN_RETRIES {
+                            self.drain_attempt += 1;
+                            lock_report(&self.report).recovery.drain_retries += 1;
+                            let pause = self.backoff(self.drain_attempt);
+                            self.phase = Phase::Drain;
+                            return Some(WorkItem::Sleep(pause));
+                        }
+                        lock_report(&self.report).recovery.drains_abandoned += 1;
+                        self.drain_attempt = 0;
+                        self.phase = Phase::Status;
+                        continue;
+                    }
+                    self.drain_attempt = 0;
                     let drained = if let ItemResult::Syscall { payload, .. } = prev {
                         let samples = Sample::decode_all(payload);
                         let n = samples.len();
@@ -253,6 +332,37 @@ impl Workload for Controller {
                     };
                     match status {
                         Some(s) if s.target_alive => {
+                            // Degraded-mode fallback: when drops since the
+                            // last poll exceed the threshold, the machine
+                            // cannot sustain this period — double it
+                            // (bounded) instead of losing samples silently.
+                            let drop_delta = s.samples_dropped.saturating_sub(self.last_dropped);
+                            self.last_dropped = s.samples_dropped;
+                            let stalled = self.last_taken == Some(s.samples_taken) && !s.paused;
+                            self.last_taken = Some(s.samples_taken);
+                            if drop_delta > DEGRADE_DROP_THRESHOLD
+                                && self.doublings < MAX_PERIOD_DOUBLINGS
+                                && s.period_ns > 0
+                            {
+                                self.doublings += 1;
+                                let mut report = lock_report(&self.report);
+                                report.recovery.period_doublings = self.doublings;
+                                report.recovery.degraded = true;
+                                drop(report);
+                                self.phase = Phase::AfterSetPeriod;
+                                let doubled = s.period_ns.saturating_mul(2);
+                                return Some(
+                                    self.ioctl(IOCTL_SET_PERIOD, doubled.to_le_bytes().to_vec()),
+                                );
+                            }
+                            if stalled {
+                                // samples_taken froze between polls: the
+                                // sampling timer may have lost its expiry.
+                                // Kick it (a no-op if nothing is stalled).
+                                lock_report(&self.report).recovery.kicks += 1;
+                                self.phase = Phase::AfterKick;
+                                return Some(self.ioctl(IOCTL_KICK, Vec::new()));
+                            }
                             self.phase = Phase::Sleep; // keep monitoring
                         }
                         Some(_) => {
@@ -262,11 +372,34 @@ impl Workload for Controller {
                         None => return self.fail("KLEB_STATUS", -1),
                     }
                 }
+                Phase::AfterKick => {
+                    if prev.retval() == Some(1) {
+                        lock_report(&self.report).recovery.kicks_honoured += 1;
+                    }
+                    self.phase = Phase::Sleep;
+                }
+                Phase::AfterSetPeriod => {
+                    // Success or not, go back to monitoring; the new period
+                    // shows up in the next status poll.
+                    self.phase = Phase::Sleep;
+                }
                 Phase::FinalDrain => {
                     self.phase = Phase::FinalStatus;
                     return Some(self.read());
                 }
                 Phase::FinalStatus => {
+                    // After STOP the buffer must be drained to empty even on
+                    // a flaky machine: abandoned records here would be lost
+                    // for good, so the retry budget is generous.
+                    if prev.retval() == Some(Errno::Again.as_retval())
+                        && self.final_attempt < MAX_FINAL_DRAIN_RETRIES
+                    {
+                        self.final_attempt += 1;
+                        lock_report(&self.report).recovery.drain_retries += 1;
+                        let pause = self.backoff(self.final_attempt);
+                        self.phase = Phase::FinalDrain;
+                        return Some(WorkItem::Sleep(pause));
+                    }
                     if let ItemResult::Syscall { payload, retval } = prev {
                         if *retval > 0 {
                             let samples = Sample::decode_all(payload);

@@ -40,7 +40,9 @@ pub mod sample;
 
 pub use api::{monitor_sequential, Monitor, MonitorError, MonitorOutcome, SequentialOutcome};
 pub use config::{ConfigError, ModuleStatus, MonitorConfig};
-pub use controller::{shared_report, Controller, ControllerReport, SampleSink, SharedReport};
+pub use controller::{
+    shared_report, Controller, ControllerReport, RecoveryStats, SampleSink, SharedReport,
+};
 pub use log::{parse_csv, render_csv, LogParseError};
 pub use module::{KlebModule, KlebTuning};
 pub use sample::{Sample, RECORD_BYTES};

@@ -43,7 +43,7 @@ impl std::fmt::Display for LogParseError {
 
 impl std::error::Error for LogParseError {}
 
-const FIXED_HEADERS: [&str; 3] = ["timestamp_ns", "pid", "final"];
+const FIXED_HEADERS: [&str; 5] = ["timestamp_ns", "seq", "pid", "final", "gap"];
 const FIXED_COUNTERS: [&str; 3] = ["INST_RETIRED", "CORE_CYCLES", "REF_CYCLES"];
 
 /// Renders samples as the controller's CSV log.
@@ -62,8 +62,15 @@ pub fn render_csv(samples: &[Sample], events: &[HwEvent]) -> String {
     out.push('\n');
     for s in samples {
         out.push_str(&format!(
-            "{},{},{},{},{},{}",
-            s.timestamp_ns, s.pid, s.final_sample as u8, s.fixed[0], s.fixed[1], s.fixed[2]
+            "{},{},{},{},{},{},{},{}",
+            s.timestamp_ns,
+            s.seq,
+            s.pid,
+            s.final_sample as u8,
+            s.gap as u8,
+            s.fixed[0],
+            s.fixed[1],
+            s.fixed[2]
         ));
         for i in 0..events.len() {
             out.push_str(&format!(",{}", s.pmc[i]));
@@ -84,7 +91,9 @@ pub fn parse_csv(log: &str) -> Result<(Vec<HwEvent>, Vec<Sample>), LogParseError
     let (_, header) = lines.next().ok_or(LogParseError::BadHeader)?;
     let columns: Vec<&str> = header.split(',').collect();
     let fixed_len = FIXED_HEADERS.len() + FIXED_COUNTERS.len();
-    if columns.len() < fixed_len || columns[..3] != FIXED_HEADERS || columns[3..6] != FIXED_COUNTERS
+    if columns.len() < fixed_len
+        || columns[..FIXED_HEADERS.len()] != FIXED_HEADERS
+        || columns[FIXED_HEADERS.len()..fixed_len] != FIXED_COUNTERS
     {
         return Err(LogParseError::BadHeader);
     }
@@ -120,12 +129,14 @@ pub fn parse_csv(log: &str) -> Result<(Vec<HwEvent>, Vec<Sample>), LogParseError
         };
         let mut s = Sample {
             timestamp_ns: num(0)?,
-            pid: num(1)? as u32,
-            final_sample: num(2)? != 0,
+            seq: num(1)?,
+            pid: num(2)? as u32,
+            final_sample: num(3)? != 0,
+            gap: num(4)? != 0,
             ..Sample::default()
         };
         for i in 0..3 {
-            s.fixed[i] = num(3 + i)?;
+            s.fixed[i] = num(FIXED_HEADERS.len() + i)?;
         }
         for i in 0..events.len() {
             s.pmc[i] = num(fixed_len + i)?;
@@ -143,15 +154,19 @@ mod tests {
         vec![
             Sample {
                 timestamp_ns: 100,
+                seq: 0,
                 pid: 3,
                 final_sample: false,
+                gap: false,
                 fixed: [10, 20, 30],
                 pmc: [1, 2, 0, 0],
             },
             Sample {
                 timestamp_ns: 200,
+                seq: 2,
                 pid: 3,
                 final_sample: true,
+                gap: true,
                 fixed: [11, 21, 31],
                 pmc: [4, 5, 0, 0],
             },
@@ -168,12 +183,17 @@ mod tests {
         assert_eq!(back[0].pmc[0], 1);
         assert!(back[1].final_sample);
         assert_eq!(back[1].fixed, [11, 21, 31]);
+        assert_eq!(back[1].seq, 2);
+        assert!(back[1].gap);
+        assert!(!back[0].gap);
     }
 
     #[test]
     fn header_is_self_describing() {
         let csv = render_csv(&[], &[HwEvent::Load]);
-        assert!(csv.starts_with("timestamp_ns,pid,final,INST_RETIRED,CORE_CYCLES,REF_CYCLES,LOAD"));
+        assert!(csv.starts_with(
+            "timestamp_ns,seq,pid,final,gap,INST_RETIRED,CORE_CYCLES,REF_CYCLES,LOAD"
+        ));
     }
 
     #[test]
@@ -189,7 +209,10 @@ mod tests {
             parse_csv(&joined),
             Err(LogParseError::BadArity { .. })
         ));
-        let bad_field = format!("{}\n1,notanumber,0,1,2,3,4", good.lines().next().unwrap());
+        let bad_field = format!(
+            "{}\n1,0,notanumber,0,0,1,2,3,4",
+            good.lines().next().unwrap()
+        );
         assert!(matches!(
             parse_csv(&bad_field),
             Err(LogParseError::BadField { .. })
@@ -198,7 +221,8 @@ mod tests {
 
     #[test]
     fn unknown_event_mnemonic_rejected() {
-        let csv = "timestamp_ns,pid,final,INST_RETIRED,CORE_CYCLES,REF_CYCLES,NOT_AN_EVENT\n";
+        let csv =
+            "timestamp_ns,seq,pid,final,gap,INST_RETIRED,CORE_CYCLES,REF_CYCLES,NOT_AN_EVENT\n";
         assert_eq!(parse_csv(csv), Err(LogParseError::BadHeader));
     }
 

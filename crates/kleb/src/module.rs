@@ -22,10 +22,11 @@ use std::collections::{BTreeSet, VecDeque};
 
 use pmu::{msr, EventSel, NUM_FIXED, NUM_PROGRAMMABLE};
 
-use ksim::{CoreId, Device, Errno, KernelCtx, Pid, TimerId};
+use ksim::{CoreId, Device, Errno, FaultClass, KernelCtx, Pid, TimerId};
 
 use crate::config::{
-    ModuleStatus, MonitorConfig, IOCTL_CONFIG, IOCTL_START, IOCTL_STATUS, IOCTL_STOP,
+    ModuleStatus, MonitorConfig, IOCTL_CONFIG, IOCTL_KICK, IOCTL_SET_PERIOD, IOCTL_START,
+    IOCTL_STATUS, IOCTL_STOP,
 };
 use crate::sample::Sample;
 
@@ -96,6 +97,18 @@ struct Armed {
     paused: bool,
     buffer: VecDeque<Sample>,
     samples_taken: u64,
+    /// Samples taken but lost before buffering (ring pressure). Every loss
+    /// is accounted here and visible as a `seq` hole + gap marker.
+    samples_dropped: u64,
+    /// Sequence number for the next sample taken.
+    next_seq: u64,
+    /// The next buffered sample must carry the gap marker (a drop happened
+    /// since the last buffered record).
+    pending_gap: bool,
+    /// Usable ring capacity: the configured capacity minus whatever the
+    /// fault plan's `ring_shrink` withholds. Equal to
+    /// `cfg.buffer_capacity` on a healthy machine.
+    effective_capacity: usize,
     pauses: u64,
     enable_mask: u64,
     /// Absolute deadline of the next expiry (`hrtimer_forward` semantics:
@@ -138,9 +151,10 @@ impl KlebModule {
                 target_alive: !a.live.is_empty(),
                 buffered: a.buffer.len() as u64,
                 samples_taken: a.samples_taken,
-                samples_dropped: 0,
+                samples_dropped: a.samples_dropped,
                 pauses: a.pauses,
                 paused: a.paused,
+                period_ns: a.cfg.period_ns,
             },
         }
     }
@@ -200,6 +214,11 @@ impl KlebModule {
                 tracked.insert(child.0);
             }
         }
+        // Ring pressure can withhold part of the nominal capacity: the
+        // safety stop then trips earlier, modelling a ring squeezed by
+        // other kernel consumers.
+        let shrink = ctx.fault_plan().ring_shrink.clamp(0.0, 1.0);
+        let effective_capacity = ((cfg.buffer_capacity as f64 * (1.0 - shrink)) as usize).max(1);
         self.armed = Some(Armed {
             live: tracked.clone(),
             tracked,
@@ -211,6 +230,10 @@ impl KlebModule {
             paused: false,
             buffer: VecDeque::new(),
             samples_taken: 0,
+            samples_dropped: 0,
+            next_seq: 0,
+            pending_gap: false,
+            effective_capacity,
             pauses: 0,
             enable_mask,
             next_deadline: None,
@@ -308,15 +331,73 @@ impl KlebModule {
         }
         let record_cost = ctx.cost().buffer_record;
         ctx.charge_kernel_cycles(record_cost);
-        a.buffer.push_back(sample);
+        sample.seq = a.next_seq;
+        a.next_seq += 1;
         a.samples_taken += 1;
+        if ctx.fault_fires(FaultClass::RingSlot) {
+            // Ring pressure lost the slot: the counters were already read
+            // and reset, so this period's deltas are gone — account the
+            // loss and mark the next surviving record as after-a-gap.
+            a.samples_dropped += 1;
+            a.pending_gap = true;
+        } else {
+            sample.gap = a.pending_gap;
+            a.pending_gap = false;
+            a.buffer.push_back(sample);
+        }
 
         // Starvation safety: pause collection until the controller drains.
-        if a.buffer.len() >= a.cfg.buffer_capacity {
+        if a.buffer.len() >= a.effective_capacity {
             a.paused = true;
             a.pauses += 1;
             Self::disable(ctx, a);
         }
+    }
+
+    /// Re-arms a stalled sampling timer ([`IOCTL_KICK`]).
+    ///
+    /// A lost hrtimer expiry leaves the module believing it is sampling
+    /// while no fire will ever arrive: running, active, timer armed — and
+    /// the periodic deadline drifting ever further into the past. The
+    /// controller detects the symptom (samples_taken frozen between status
+    /// polls) and kicks; the module confirms the stall by its own deadline
+    /// bookkeeping before re-arming, so spurious kicks are harmless no-ops.
+    fn kick(&mut self, ctx: &mut KernelCtx<'_>) -> Result<i64, Errno> {
+        let Some(a) = self.armed.as_mut() else {
+            return Err(Errno::Perm);
+        };
+        if !a.running || !a.active || a.paused {
+            return Ok(0); // not supposed to be sampling: nothing to repair
+        }
+        let stalled = a
+            .next_deadline
+            .is_some_and(|d| ctx.now() > d + a.cfg.period());
+        if !stalled {
+            return Ok(0);
+        }
+        Self::rearm_periodic(ctx, a);
+        Ok(1)
+    }
+
+    /// Changes the sampling period of a configured monitor
+    /// ([`IOCTL_SET_PERIOD`]): payload is a little-endian `u64` in
+    /// nanoseconds, effective at the next re-arm.
+    fn set_period(&mut self, ctx: &mut KernelCtx<'_>, payload: &[u8]) -> Result<i64, Errno> {
+        let Some(a) = self.armed.as_mut() else {
+            return Err(Errno::Perm);
+        };
+        let bytes: [u8; 8] = payload.try_into().map_err(|_| Errno::Inval)?;
+        let period_ns = u64::from_le_bytes(bytes);
+        if period_ns == 0 {
+            return Err(Errno::Inval);
+        }
+        a.cfg.period_ns = period_ns;
+        // If the timer is live, re-arm on the new cadence immediately:
+        // degraded mode must take effect now, not at the next stale expiry.
+        if a.running && a.active && !a.paused {
+            Self::rearm_periodic(ctx, a);
+        }
+        Ok(0)
     }
 }
 
@@ -333,6 +414,8 @@ impl Device for KlebModule {
             IOCTL_START => self.start(ctx).map(|r| (r, Vec::new())),
             IOCTL_STOP => self.stop(ctx).map(|r| (r, Vec::new())),
             IOCTL_STATUS => Ok((0, self.status().to_payload())),
+            IOCTL_KICK => self.kick(ctx).map(|r| (r, Vec::new())),
+            IOCTL_SET_PERIOD => self.set_period(ctx, payload).map(|r| (r, Vec::new())),
             _ => Err(Errno::Inval),
         }
     }
@@ -357,8 +440,9 @@ impl Device for KlebModule {
         let copy_cost = n as u64 * ctx.cost().copy_to_user_record;
         ctx.charge_kernel_cycles(copy_cost);
 
-        // Resume after the safety stop once half the buffer is free.
-        if a.paused && a.buffer.len() <= a.cfg.buffer_capacity / 2 {
+        // Resume after the safety stop once half the (usable) buffer is
+        // free.
+        if a.paused && a.buffer.len() <= a.effective_capacity / 2 {
             a.paused = false;
             if a.running {
                 let on_core = ctx
@@ -540,7 +624,16 @@ mod tests {
     }
 
     fn harness(workload: Box<dyn Workload>, period: Duration, capacity: usize) -> Harness {
-        let mut machine = Machine::new(MachineConfig::test_tiny(5));
+        harness_on(MachineConfig::test_tiny(5), workload, period, capacity)
+    }
+
+    fn harness_on(
+        machine_cfg: MachineConfig,
+        workload: Box<dyn Workload>,
+        period: Duration,
+        capacity: usize,
+    ) -> Harness {
+        let mut machine = Machine::new(machine_cfg);
         let device = machine.register_device(Box::new(KlebModule::with_tuning(
             KlebTuning::microarchitectural(),
         )));
@@ -653,8 +746,216 @@ mod tests {
         assert!(final_status.samples_taken > 8);
         // Nothing was dropped: every taken sample was either drained or
         // still buffered at stop time (we drained after stop).
+        assert_eq!(final_status.samples_dropped, 0);
         let drained = h.sink.lock().unwrap().len() as u64;
-        assert_eq!(drained, final_status.samples_taken);
+        assert_eq!(
+            drained + final_status.samples_dropped,
+            final_status.samples_taken
+        );
+        // Sequence numbers are gap-free on a healthy machine.
+        let samples = h.sink.lock().unwrap();
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+            assert!(!s.gap);
+        }
+    }
+
+    #[test]
+    fn ring_pressure_drops_are_accounted_with_gap_markers() {
+        let mut cfg = MachineConfig::test_tiny(5);
+        cfg.faults = ksim::FaultPlan::ring_pressure(0.2);
+        let mut h = harness_on(cfg, compute_workload(), Duration::from_micros(100), 8192);
+        h.machine.run_until_exit(h.target).unwrap();
+        h.machine.run_until_exit(h.controller).unwrap();
+        let status = *h.statuses.lock().unwrap().last().expect("status polled");
+        assert!(status.samples_dropped > 0, "20% pressure must drop some");
+        let samples = h.sink.lock().unwrap();
+        // The ledger balances: everything taken was drained or accounted
+        // as dropped (the controller drains to empty after stop).
+        assert_eq!(
+            samples.len() as u64 + status.samples_dropped,
+            status.samples_taken
+        );
+        // Sequence numbers strictly increase, and every hole is flagged on
+        // the next surviving record.
+        let mut holes = 0u64;
+        for w in samples.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+            if w[1].seq > w[0].seq + 1 {
+                holes += w[1].seq - w[0].seq - 1;
+                assert!(w[1].gap, "a seq hole must carry the gap marker");
+            }
+        }
+        assert!(holes > 0, "drops must be visible as seq holes");
+    }
+
+    #[test]
+    fn missed_timer_fires_stall_until_kicked() {
+        // Timer expiries are always lost: without IOCTL_KICK the module
+        // would sample at most once per enable edge.
+        let mut cfg = MachineConfig::test_tiny(5);
+        cfg.faults = ksim::FaultPlan {
+            timer_miss_rate: 1.0,
+            ..ksim::FaultPlan::NONE
+        };
+        let mut machine = Machine::new(cfg);
+        let device = machine.register_device(Box::new(KlebModule::with_tuning(
+            KlebTuning::microarchitectural(),
+        )));
+        let target = machine.spawn_suspended("target", ksim::CoreId(0), compute_workload());
+        let mon = MonitorConfig::new(target, &[HwEvent::Load], Duration::from_micros(200));
+
+        /// Configure, start, resume, then alternate sleep + KICK forever.
+        #[derive(Debug)]
+        struct Kicker {
+            device: ksim::DeviceId,
+            cfg: MonitorConfig,
+            target: Pid,
+            phase: u32,
+            kicks_honoured: Arc<Mutex<u64>>,
+        }
+        impl Workload for Kicker {
+            fn next(&mut self, prev: &ItemResult) -> Option<WorkItem> {
+                if self.phase > 3 {
+                    if let Some(1) = prev.retval() {
+                        *self.kicks_honoured.lock().unwrap() += 1;
+                    }
+                }
+                let phase = self.phase;
+                self.phase += 1;
+                match phase {
+                    0 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_CONFIG,
+                        payload: self.cfg.to_payload(),
+                    })),
+                    1 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_START,
+                        payload: vec![],
+                    })),
+                    2 => Some(WorkItem::Syscall(Syscall::Resume(self.target))),
+                    p if p < 60 => {
+                        if p % 2 == 1 {
+                            Some(WorkItem::Sleep(Duration::from_micros(500)))
+                        } else {
+                            Some(WorkItem::Syscall(Syscall::Ioctl {
+                                device: self.device,
+                                request: IOCTL_KICK,
+                                payload: vec![],
+                            }))
+                        }
+                    }
+                    _ => None,
+                }
+            }
+        }
+        let kicks_honoured = Arc::new(Mutex::new(0));
+        let controller = machine.spawn(
+            "controller",
+            ksim::CoreId(1),
+            Box::new(Kicker {
+                device,
+                cfg: mon,
+                target,
+                phase: 0,
+                kicks_honoured: kicks_honoured.clone(),
+            }),
+        );
+        machine.run_until_exit(target).unwrap();
+        machine.run_until_exit(controller).unwrap();
+        assert!(
+            *kicks_honoured.lock().unwrap() > 0,
+            "kicks must repair stalled timers (every fire is lost here)"
+        );
+    }
+
+    #[test]
+    fn set_period_changes_cadence_and_status_reports_it() {
+        let mut machine = Machine::new(MachineConfig::test_tiny(5));
+        let device = machine.register_device(Box::new(KlebModule::with_tuning(
+            KlebTuning::microarchitectural(),
+        )));
+        let target = machine.spawn_suspended("target", ksim::CoreId(0), compute_workload());
+        let mon = MonitorConfig::new(target, &[HwEvent::Load], Duration::from_micros(100));
+
+        #[derive(Debug)]
+        struct PeriodChanger {
+            device: ksim::DeviceId,
+            cfg: MonitorConfig,
+            target: Pid,
+            phase: u32,
+            statuses: Arc<Mutex<Vec<ModuleStatus>>>,
+            retvals: Arc<Mutex<Vec<i64>>>,
+        }
+        impl Workload for PeriodChanger {
+            fn next(&mut self, prev: &ItemResult) -> Option<WorkItem> {
+                if let ItemResult::Syscall { retval, payload } = prev {
+                    if let Some(s) = ModuleStatus::from_payload(payload) {
+                        self.statuses.lock().unwrap().push(s);
+                    }
+                    self.retvals.lock().unwrap().push(*retval);
+                }
+                let phase = self.phase;
+                self.phase += 1;
+                match phase {
+                    0 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_CONFIG,
+                        payload: self.cfg.to_payload(),
+                    })),
+                    1 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_START,
+                        payload: vec![],
+                    })),
+                    2 => Some(WorkItem::Syscall(Syscall::Resume(self.target))),
+                    3 => Some(WorkItem::Sleep(Duration::from_millis(1))),
+                    // Double the period mid-run, then malformed + zero.
+                    4 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_SET_PERIOD,
+                        payload: 200_000u64.to_le_bytes().to_vec(),
+                    })),
+                    5 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_SET_PERIOD,
+                        payload: vec![1, 2, 3],
+                    })),
+                    6 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_SET_PERIOD,
+                        payload: 0u64.to_le_bytes().to_vec(),
+                    })),
+                    7 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_STATUS,
+                        payload: vec![],
+                    })),
+                    _ => None,
+                }
+            }
+        }
+        let statuses = Arc::new(Mutex::new(Vec::new()));
+        let retvals = Arc::new(Mutex::new(Vec::new()));
+        let controller = machine.spawn(
+            "controller",
+            ksim::CoreId(1),
+            Box::new(PeriodChanger {
+                device,
+                cfg: mon,
+                target,
+                phase: 0,
+                statuses: statuses.clone(),
+                retvals: retvals.clone(),
+            }),
+        );
+        machine.run_until_exit(controller).unwrap();
+        let status = *statuses.lock().unwrap().last().expect("status polled");
+        assert_eq!(status.period_ns, 200_000, "doubled period is in effect");
+        let r = retvals.lock().unwrap();
+        // set_period: ok, then EINVAL for short payload and zero period.
+        assert!(r.windows(3).any(|w| w == [0, -22, -22]), "retvals: {r:?}");
     }
 
     #[test]

@@ -2,27 +2,47 @@
 //!
 //! Samples cross the kernel/user boundary through `read()` as fixed-size
 //! little-endian records, the way the real module hands its kernel buffer to
-//! the controller. Each record carries the timestamp, the pid that was on
-//! the core, the three fixed counters and the four programmable counters —
-//! all as *deltas since the previous sample* (the module resets counters
-//! after reading, producing the per-period time series of Figs. 4 and 7).
+//! the controller. Each record carries the timestamp, a kernel-assigned
+//! sequence number, the pid that was on the core, the three fixed counters
+//! and the four programmable counters — all as *deltas since the previous
+//! sample* (the module resets counters after reading, producing the
+//! per-period time series of Figs. 4 and 7).
+//!
+//! The sequence number and the gap flag exist for drop accounting: the
+//! module assigns `seq` when it *takes* a sample, so if ring pressure
+//! forces a drop the drained series shows a hole in `seq` and the next
+//! surviving record carries `gap = true`. Consumers can therefore tell
+//! "nothing happened" apart from "samples were lost here" (the degradation
+//! must be accounted, not silent).
 
 use pmu::{NUM_FIXED, NUM_PROGRAMMABLE};
 
-/// Encoded size of one record: 8 (timestamp) + 4 (pid) + 4 (flags/pad) +
-/// 3×8 (fixed) + 4×8 (pmc).
-pub const RECORD_BYTES: usize = 8 + 4 + 4 + NUM_FIXED * 8 + NUM_PROGRAMMABLE * 8;
+/// Flags bit: this is the final (partial-period) sample.
+const FLAG_FINAL: u32 = 1 << 0;
+/// Flags bit: one or more samples were dropped immediately before this one.
+const FLAG_GAP: u32 = 1 << 1;
+
+/// Encoded size of one record: 8 (timestamp) + 8 (seq) + 4 (pid) +
+/// 4 (flags) + 3×8 (fixed) + 4×8 (pmc).
+pub const RECORD_BYTES: usize = 8 + 8 + 4 + 4 + NUM_FIXED * 8 + NUM_PROGRAMMABLE * 8;
 
 /// One performance-counter sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Sample {
     /// Simulated time the sample was taken, nanoseconds since boot.
     pub timestamp_ns: u64,
+    /// Kernel-assigned sequence number, counting every sample *taken*
+    /// (including ones later dropped under ring pressure): holes in the
+    /// drained series are exactly the drops.
+    pub seq: u64,
     /// Pid that was running when the timer fired.
     pub pid: u32,
     /// Set when this is the final (partial-period) sample taken as the
     /// target exited.
     pub final_sample: bool,
+    /// Set when at least one sample was dropped between the previous
+    /// drained record and this one (a gap marker in the series).
+    pub gap: bool,
     /// Fixed-counter deltas: instructions retired, core cycles, ref cycles.
     pub fixed: [u64; NUM_FIXED],
     /// Programmable-counter deltas, in configured event order.
@@ -43,8 +63,16 @@ impl Sample {
     /// Encodes into the 80-byte wire format.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.timestamp_ns.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.pid.to_le_bytes());
-        out.extend_from_slice(&(self.final_sample as u32).to_le_bytes());
+        let mut flags = 0u32;
+        if self.final_sample {
+            flags |= FLAG_FINAL;
+        }
+        if self.gap {
+            flags |= FLAG_GAP;
+        }
+        out.extend_from_slice(&flags.to_le_bytes());
         for v in self.fixed {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -62,17 +90,20 @@ impl Sample {
         }
         let u64_at = |o: usize| Some(u64::from_le_bytes(bytes.get(o..o + 8)?.try_into().ok()?));
         let u32_at = |o: usize| Some(u32::from_le_bytes(bytes.get(o..o + 4)?.try_into().ok()?));
+        let flags = u32_at(20)?;
         let mut s = Sample {
             timestamp_ns: u64_at(0)?,
-            pid: u32_at(8)?,
-            final_sample: u32_at(12)? != 0,
+            seq: u64_at(8)?,
+            pid: u32_at(16)?,
+            final_sample: flags & FLAG_FINAL != 0,
+            gap: flags & FLAG_GAP != 0,
             ..Sample::default()
         };
         for (i, v) in s.fixed.iter_mut().enumerate() {
-            *v = u64_at(16 + i * 8)?;
+            *v = u64_at(24 + i * 8)?;
         }
         for (i, v) in s.pmc.iter_mut().enumerate() {
-            *v = u64_at(16 + NUM_FIXED * 8 + i * 8)?;
+            *v = u64_at(24 + NUM_FIXED * 8 + i * 8)?;
         }
         Some(s)
     }
@@ -94,8 +125,10 @@ mod tests {
     fn sample() -> Sample {
         Sample {
             timestamp_ns: 123_456_789,
+            seq: 17,
             pid: 42,
             final_sample: true,
+            gap: true,
             fixed: [1, 2, 3],
             pmc: [10, 20, 30, 40],
         }
@@ -106,7 +139,7 @@ mod tests {
         let mut buf = Vec::new();
         sample().encode_into(&mut buf);
         assert_eq!(buf.len(), RECORD_BYTES);
-        assert_eq!(RECORD_BYTES, 72);
+        assert_eq!(RECORD_BYTES, 80);
     }
 
     #[test]
@@ -114,6 +147,20 @@ mod tests {
         let mut buf = Vec::new();
         sample().encode_into(&mut buf);
         assert_eq!(Sample::decode(&buf), Some(sample()));
+    }
+
+    #[test]
+    fn flags_round_trip_independently() {
+        for (final_sample, gap) in [(false, false), (true, false), (false, true), (true, true)] {
+            let s = Sample {
+                final_sample,
+                gap,
+                ..sample()
+            };
+            let mut buf = Vec::new();
+            s.encode_into(&mut buf);
+            assert_eq!(Sample::decode(&buf), Some(s));
+        }
     }
 
     #[test]

@@ -23,18 +23,23 @@ fn arb_events() -> impl Strategy<Value = Vec<HwEvent>> {
 fn arb_sample() -> impl Strategy<Value = Sample> {
     (
         any::<u64>(),
+        any::<u64>(),
         any::<u32>(),
-        any::<bool>(),
+        (any::<bool>(), any::<bool>()),
         any::<[u64; 3]>(),
         any::<[u64; 4]>(),
     )
-        .prop_map(|(timestamp_ns, pid, final_sample, fixed, pmc)| Sample {
-            timestamp_ns,
-            pid,
-            final_sample,
-            fixed,
-            pmc,
-        })
+        .prop_map(
+            |(timestamp_ns, seq, pid, (final_sample, gap), fixed, pmc)| Sample {
+                timestamp_ns,
+                seq,
+                pid,
+                final_sample,
+                gap,
+                fixed,
+                pmc,
+            },
+        )
 }
 
 proptest! {

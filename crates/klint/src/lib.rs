@@ -211,4 +211,35 @@ fn g() { let _ = Instant::now(); }
         let src = "fn f() { let _ = Instant::now(); }\n";
         assert!(check_source("crates/analysis/src/x.rs", src).is_empty());
     }
+
+    #[test]
+    fn d1_flags_entropy_seeding_and_rand_random() {
+        let src = "\
+fn f() {
+    let mut rng = StdRng::from_entropy();
+    let coin: bool = rand::random();
+    let byte = rand::random::<u8>();
+}
+";
+        let v = check_source("crates/ksim/src/x.rs", src);
+        let snippets: Vec<&str> = v.iter().map(|x| x.snippet.as_str()).collect();
+        assert_eq!(
+            snippets,
+            vec!["from_entropy()", "rand::random()", "rand::random()"],
+            "got: {v:?}"
+        );
+        assert!(v.iter().all(|x| x.rule == Rule::D1));
+    }
+
+    #[test]
+    fn d1_allows_seeded_rng_construction() {
+        let src = "\
+fn f() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let from_entropy = 3; // a binding, not a call
+    let x = some.random;  // field access, not rand::random()
+}
+";
+        assert!(check_source("crates/ksim/src/x.rs", src).is_empty());
+    }
 }

@@ -2,7 +2,7 @@
 //!
 //! | Rule | Invariant | Scope |
 //! |------|-----------|-------|
-//! | `D1` | no wall-clock / unseeded RNG (`SystemTime::now`, `Instant::now`, argless `thread_rng()`) — simulated time comes from `ksim::time`, randomness from seeded `StdRng` | `pmu`, `ksim`, `memsim`, `kleb`, `workloads`, `fleet` |
+//! | `D1` | no wall-clock / unseeded RNG (`SystemTime::now`, `Instant::now`, argless `thread_rng()`, `from_entropy()`, `rand::random()`) — simulated time comes from `ksim::time`, randomness from seeded `StdRng` | `pmu`, `ksim`, `memsim`, `kleb`, `workloads`, `fleet` |
 //! | `D2` | no `unwrap()` / `expect()` in library code — use typed errors | `pmu`, `ksim`, `kleb` (non-test) |
 //! | `D3` | no `Ordering::Relaxed` on atomics that gate cross-thread data visibility | `fleet` (allowlist: `metrics.rs`, pure counters) |
 //! | `M1` | `wrmsr`/`rdmsr` call sites name a `pmu::msr` constant, never a bare integer MSR address | all crates (non-test) |
@@ -242,7 +242,8 @@ pub fn check_tokens(
 
 type Hit = (usize, String, String);
 
-/// D1: `SystemTime::now`, `Instant::now`, argless `thread_rng()`.
+/// D1: `SystemTime::now`, `Instant::now`, argless `thread_rng()`,
+/// `from_entropy()`, `rand::random()`.
 fn rule_d1(lexed: &Lexed) -> Vec<Hit> {
     let t = &lexed.tokens;
     let mut hits = Vec::new();
@@ -276,6 +277,55 @@ fn rule_d1(lexed: &Lexed) -> Vec<Hit> {
                  reproduce under --seed"
                     .to_string(),
             ));
+        }
+        if t[i].tok.is_ident("from_entropy")
+            && t.get(i + 1).is_some_and(|n| n.tok.is_punct('('))
+            && t.get(i + 2).is_some_and(|n| n.tok.is_punct(')'))
+        {
+            hits.push((
+                i,
+                "from_entropy()".to_string(),
+                "from_entropy() seeds from the OS entropy pool; use \
+                 StdRng::seed_from_u64 so runs reproduce under --seed"
+                    .to_string(),
+            ));
+        }
+        if t[i].tok.is_ident("random")
+            && i >= 3
+            && t[i - 1].tok.is_punct(':')
+            && t[i - 2].tok.is_punct(':')
+            && t[i - 3].tok.is_ident("rand")
+        {
+            // Skip an optional turbofish: rand::random::<T>().
+            let mut j = i + 1;
+            if t.get(j).is_some_and(|n| n.tok.is_punct(':'))
+                && t.get(j + 1).is_some_and(|n| n.tok.is_punct(':'))
+                && t.get(j + 2).is_some_and(|n| n.tok.is_punct('<'))
+            {
+                j += 2;
+                let mut depth = 0usize;
+                while j < t.len() {
+                    if t[j].tok.is_punct('<') {
+                        depth += 1;
+                    } else if t[j].tok.is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            if t.get(j).is_some_and(|n| n.tok.is_punct('(')) {
+                hits.push((
+                    i,
+                    "rand::random()".to_string(),
+                    "rand::random() draws from the unseeded thread RNG; use a \
+                     seeded StdRng so runs reproduce under --seed"
+                        .to_string(),
+                ));
+            }
         }
     }
     hits

@@ -1,0 +1,418 @@
+//! Deterministic fault injection — the chaos layer.
+//!
+//! The paper's robustness claim (§VI) is that K-LEB's kernel-side design
+//! stays accurate *because* it tolerates the messy realities perf stumbles
+//! on: timer jitter and lost expiries, context-switch races, buffer
+//! pressure, and slow or failing drain syscalls. The happy-path simulator
+//! never exercises any of that, so this module injects those faults on
+//! demand — and only on demand.
+//!
+//! Two properties are load-bearing:
+//!
+//! 1. **Strictly opt-in.** With [`FaultPlan::NONE`] (the default in every
+//!    [`crate::MachineConfig`] constructor) the fault state draws *zero*
+//!    random numbers and perturbs *nothing*: every existing simulation is
+//!    bit-identical to a build without this module.
+//! 2. **Deterministic.** All fault decisions come from one [`StdRng`]
+//!    seeded as a pure function of the machine seed (klint rule D1 applies
+//!    here unchanged — no wall clocks, no entropy). Same seed + same plan
+//!    ⇒ the same faults at the same simulated instants, every run.
+//!
+//! The fault RNG is separate from the machine's jitter RNG so that
+//! enabling faults does not shift the jitter stream (and vice versa): a
+//! chaos run differs from its clean twin only where a fault actually
+//! fired.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Salt mixed into the machine seed to derive the fault RNG stream.
+/// Arbitrary odd constant; only stability matters.
+const FAULT_SEED_SALT: u64 = 0xC4A0_5F17_9E37_79B9;
+
+/// One class of injectable fault. Used both to draw (“does this fault fire
+/// here?”) and to index per-class counters in [`FaultStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// An hrtimer expiry is delivered late by a fixed extra delay
+    /// (stresses the paper's §VI jitter-bounds discussion).
+    TimerDelay,
+    /// An hrtimer expiry interrupt is lost outright: the timer stays
+    /// armed in the table but never fires. Consumers must detect the
+    /// stalled stream and re-arm (K-LEB's controller kick path).
+    TimerMiss,
+    /// A context-switch kprobe notification is dropped for one device:
+    /// the module misses a sched event (the race §III-B guards against).
+    CtxswDrop,
+    /// A context-switch notification is delivered late: extra kernel
+    /// cycles elapse before the probe runs.
+    CtxswLate,
+    /// An MSR read glitches: the value freezes (subsequent reads return
+    /// the stuck value) for a configured number of reads.
+    MsrFreeze,
+    /// A kernel ring-buffer slot is lost under pressure: the sample taken
+    /// this period cannot be buffered and must be *accounted* as dropped.
+    RingSlot,
+    /// A drain (`read`) syscall fails with `EAGAIN` before reaching the
+    /// device; the controller must retry with backoff.
+    DrainFail,
+    /// A drain syscall is slow: extra kernel cycles are charged before
+    /// the device copies records out.
+    DrainSlow,
+}
+
+/// Number of [`FaultClass`] variants (array-index bound for stats).
+pub const NUM_FAULT_CLASSES: usize = 8;
+
+impl FaultClass {
+    /// Stable per-class index into [`FaultStats`].
+    pub const fn index(self) -> usize {
+        match self {
+            FaultClass::TimerDelay => 0,
+            FaultClass::TimerMiss => 1,
+            FaultClass::CtxswDrop => 2,
+            FaultClass::CtxswLate => 3,
+            FaultClass::MsrFreeze => 4,
+            FaultClass::RingSlot => 5,
+            FaultClass::DrainFail => 6,
+            FaultClass::DrainSlow => 7,
+        }
+    }
+
+    /// All classes, in index order.
+    pub const ALL: [FaultClass; NUM_FAULT_CLASSES] = [
+        FaultClass::TimerDelay,
+        FaultClass::TimerMiss,
+        FaultClass::CtxswDrop,
+        FaultClass::CtxswLate,
+        FaultClass::MsrFreeze,
+        FaultClass::RingSlot,
+        FaultClass::DrainFail,
+        FaultClass::DrainSlow,
+    ];
+
+    /// Short stable name (report/table rows).
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultClass::TimerDelay => "timer_delay",
+            FaultClass::TimerMiss => "timer_miss",
+            FaultClass::CtxswDrop => "ctxsw_drop",
+            FaultClass::CtxswLate => "ctxsw_late",
+            FaultClass::MsrFreeze => "msr_freeze",
+            FaultClass::RingSlot => "ring_slot",
+            FaultClass::DrainFail => "drain_fail",
+            FaultClass::DrainSlow => "drain_slow",
+        }
+    }
+}
+
+/// What to inject and how hard. Threaded through
+/// [`crate::MachineConfig::faults`]; [`FaultPlan::NONE`] (the default)
+/// disables everything.
+///
+/// Rates are per-opportunity Bernoulli probabilities in `[0, 1]`:
+/// per arm for timers, per device per switch for context switches, per
+/// read for MSRs, per buffered sample for the ring, per `read()` syscall
+/// for drains. Magnitude fields (`*_ns`, `*_cycles`, `*_reads`,
+/// `ring_shrink`) only matter when the matching rate is non-zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability an hrtimer arm picks up an extra fixed delay.
+    pub timer_delay_rate: f64,
+    /// The extra delay, nanoseconds.
+    pub timer_delay_ns: u64,
+    /// Probability an hrtimer expiry is lost outright (timer stays armed,
+    /// no fire is ever delivered).
+    pub timer_miss_rate: f64,
+    /// Probability a context-switch probe notification is dropped, per
+    /// device per switch.
+    pub ctxsw_drop_rate: f64,
+    /// Probability a context-switch probe is delivered late.
+    pub ctxsw_late_rate: f64,
+    /// Lateness of a late probe, kernel cycles charged before delivery.
+    pub ctxsw_late_cycles: u64,
+    /// Probability an MSR read starts a freeze (value sticks).
+    pub msr_freeze_rate: f64,
+    /// How many subsequent reads of that MSR return the stuck value.
+    pub msr_freeze_reads: u32,
+    /// Probability a ring-buffer slot is lost per sample push (the sample
+    /// is taken from the counters but cannot be buffered → dropped).
+    pub ring_pressure: f64,
+    /// Fraction of the configured ring capacity that is unavailable
+    /// (`0.25` ⇒ the module pauses at 75 % of nominal capacity).
+    pub ring_shrink: f64,
+    /// Probability a drain `read()` fails with `EAGAIN` before reaching
+    /// the device.
+    pub drain_fail_rate: f64,
+    /// Probability a drain `read()` is slow.
+    pub drain_slow_rate: f64,
+    /// Extra kernel cycles charged on a slow drain.
+    pub drain_slow_cycles: u64,
+}
+
+impl FaultPlan {
+    /// No faults at all: the chaos layer is inert and draws nothing.
+    pub const NONE: FaultPlan = FaultPlan {
+        timer_delay_rate: 0.0,
+        timer_delay_ns: 0,
+        timer_miss_rate: 0.0,
+        ctxsw_drop_rate: 0.0,
+        ctxsw_late_rate: 0.0,
+        ctxsw_late_cycles: 0,
+        msr_freeze_rate: 0.0,
+        msr_freeze_reads: 0,
+        ring_pressure: 0.0,
+        ring_shrink: 0.0,
+        drain_fail_rate: 0.0,
+        drain_slow_rate: 0.0,
+        drain_slow_cycles: 0,
+    };
+
+    /// A balanced all-class plan scaled by `intensity` in `[0, 1]`:
+    /// `0.0` is [`FaultPlan::NONE`]; `0.1` is a rough 10 %-of-everything
+    /// chaos run (the acceptance bar's "10 % ring-pressure" scenario uses
+    /// `chaos(0.1)`); `1.0` is a hostile machine.
+    pub fn chaos(intensity: f64) -> FaultPlan {
+        let p = intensity.clamp(0.0, 1.0);
+        FaultPlan {
+            timer_delay_rate: p,
+            timer_delay_ns: 20_000, // 20 µs: visible at 100 µs periods
+            timer_miss_rate: p / 4.0,
+            ctxsw_drop_rate: p / 2.0,
+            ctxsw_late_rate: p,
+            ctxsw_late_cycles: 2_000,
+            msr_freeze_rate: p / 4.0,
+            msr_freeze_reads: 2,
+            ring_pressure: p,
+            ring_shrink: p / 2.0,
+            drain_fail_rate: p / 2.0,
+            drain_slow_rate: p,
+            drain_slow_cycles: 5_000,
+        }
+    }
+
+    /// Ring-pressure-only plan: sample pushes fail with probability `p`.
+    pub fn ring_pressure(p: f64) -> FaultPlan {
+        FaultPlan {
+            ring_pressure: p.clamp(0.0, 1.0),
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// The per-opportunity probability for `class`.
+    pub fn rate(&self, class: FaultClass) -> f64 {
+        match class {
+            FaultClass::TimerDelay => self.timer_delay_rate,
+            FaultClass::TimerMiss => self.timer_miss_rate,
+            FaultClass::CtxswDrop => self.ctxsw_drop_rate,
+            FaultClass::CtxswLate => self.ctxsw_late_rate,
+            FaultClass::MsrFreeze => self.msr_freeze_rate,
+            FaultClass::RingSlot => self.ring_pressure,
+            FaultClass::DrainFail => self.drain_fail_rate,
+            FaultClass::DrainSlow => self.drain_slow_rate,
+        }
+    }
+
+    /// Whether any fault class can fire (or the ring is shrunken). When
+    /// false the fault state never draws from its RNG.
+    pub fn is_active(&self) -> bool {
+        self.ring_shrink > 0.0 || FaultClass::ALL.iter().any(|&c| self.rate(c) > 0.0)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+/// Per-class counters of faults actually injected, for observability:
+/// chaos reports pair these with the consumer-side accounting
+/// (`samples_dropped`, retries, watchdog events) to prove degradation is
+/// bounded *and accounted*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    injected: [u64; NUM_FAULT_CLASSES],
+}
+
+impl FaultStats {
+    /// Times `class` fired so far.
+    pub fn count(&self, class: FaultClass) -> u64 {
+        self.injected[class.index()]
+    }
+
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    fn record(&mut self, class: FaultClass) {
+        self.injected[class.index()] += 1;
+    }
+}
+
+/// Live fault-injection state owned by a [`crate::Machine`].
+///
+/// Holds the plan, the derived seeded RNG, the per-`(core, msr)` freeze
+/// table and the injection counters. All methods are cheap no-ops when the
+/// plan is inert.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// `(core, msr) → (stuck value, remaining reads)`.
+    frozen: BTreeMap<(usize, u32), (u64, u32)>,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// Builds the fault state for `plan`, deriving the fault RNG from the
+    /// machine `seed` (salted so it never shares a stream with the jitter
+    /// RNG).
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            plan,
+            rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
+            frozen: BTreeMap::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draws whether `class` fires at this opportunity. Never touches the
+    /// RNG when the class's rate is zero, so an inert plan consumes no
+    /// randomness at all.
+    pub fn fires(&mut self, class: FaultClass) -> bool {
+        let rate = self.plan.rate(class);
+        if rate <= 0.0 {
+            return false;
+        }
+        let hit = rate >= 1.0 || self.rng.gen_f64() < rate;
+        if hit {
+            self.stats.record(class);
+        }
+        hit
+    }
+
+    /// Filters an MSR read through the freeze table: a frozen register
+    /// returns its stuck value (consuming one remaining read); otherwise
+    /// a freeze may start, in which case this read still observes `fresh`
+    /// but the *next* [`FaultPlan::msr_freeze_reads`] reads stick at it.
+    pub fn filter_rdmsr(&mut self, core: usize, addr: u32, fresh: u64) -> u64 {
+        if let Some((stuck, remaining)) = self.frozen.get_mut(&(core, addr)) {
+            let v = *stuck;
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.frozen.remove(&(core, addr));
+            }
+            return v;
+        }
+        if self.plan.msr_freeze_reads > 0 && self.fires(FaultClass::MsrFreeze) {
+            self.frozen
+                .insert((core, addr), (fresh, self.plan.msr_freeze_reads));
+        }
+        fresh
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inert_and_draws_nothing() {
+        assert!(!FaultPlan::NONE.is_active());
+        let mut st = FaultState::new(FaultPlan::NONE, 7);
+        let rng_before = format!("{:?}", st.rng);
+        for class in FaultClass::ALL {
+            assert!(!st.fires(class));
+        }
+        assert_eq!(st.filter_rdmsr(0, 0x309, 42), 42);
+        // The RNG state is untouched: zero draws happened.
+        assert_eq!(format!("{:?}", st.rng), rng_before);
+        assert_eq!(st.stats().total(), 0);
+    }
+
+    #[test]
+    fn fires_is_deterministic_per_seed() {
+        let plan = FaultPlan::chaos(0.3);
+        let draws = |seed: u64| -> Vec<bool> {
+            let mut st = FaultState::new(plan, seed);
+            (0..256).map(|_| st.fires(FaultClass::RingSlot)).collect()
+        };
+        assert_eq!(draws(11), draws(11));
+        assert_ne!(draws(11), draws(12), "different seeds diverge");
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_is_counted() {
+        let mut st = FaultState::new(FaultPlan::ring_pressure(1.0), 0);
+        for _ in 0..10 {
+            assert!(st.fires(FaultClass::RingSlot));
+        }
+        assert_eq!(st.stats().count(FaultClass::RingSlot), 10);
+        assert_eq!(st.stats().total(), 10);
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let mut st = FaultState::new(FaultPlan::ring_pressure(0.25), 99);
+        let n = 10_000;
+        let hits = (0..n).filter(|_| st.fires(FaultClass::RingSlot)).count();
+        let observed = hits as f64 / n as f64;
+        assert!((observed - 0.25).abs() < 0.02, "observed {observed}");
+    }
+
+    #[test]
+    fn msr_freeze_sticks_for_configured_reads() {
+        let plan = FaultPlan {
+            msr_freeze_rate: 1.0,
+            msr_freeze_reads: 2,
+            ..FaultPlan::NONE
+        };
+        let mut st = FaultState::new(plan, 3);
+        // Onset read observes the fresh value and starts the freeze.
+        assert_eq!(st.filter_rdmsr(0, 0x309, 100), 100);
+        // The next two reads stick at 100 regardless of the fresh value.
+        assert_eq!(st.filter_rdmsr(0, 0x309, 150), 100);
+        assert_eq!(st.filter_rdmsr(0, 0x309, 200), 100);
+        // Freeze expired: the following read is fresh (and starts a new
+        // freeze, since the rate is 1).
+        assert_eq!(st.filter_rdmsr(0, 0x309, 300), 300);
+        // Freezes are per (core, msr): another core is independent.
+        assert_eq!(st.filter_rdmsr(1, 0x309, 400), 400);
+    }
+
+    #[test]
+    fn chaos_preset_scales_with_intensity() {
+        assert!(!FaultPlan::chaos(0.0).is_active());
+        let p = FaultPlan::chaos(0.1);
+        assert!(p.is_active());
+        assert!((p.ring_pressure - 0.1).abs() < 1e-12);
+        assert!(p.timer_miss_rate > 0.0 && p.timer_miss_rate < 0.1);
+        // Intensity clamps.
+        assert!(FaultPlan::chaos(7.0).ring_pressure <= 1.0);
+    }
+
+    #[test]
+    fn class_indices_are_a_bijection() {
+        let mut seen = [false; NUM_FAULT_CLASSES];
+        for class in FaultClass::ALL {
+            assert!(!seen[class.index()], "duplicate index");
+            seen[class.index()] = true;
+            assert!(!class.name().is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

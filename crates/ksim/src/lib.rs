@@ -36,6 +36,7 @@
 pub mod cost;
 pub mod device;
 pub mod event;
+pub mod faults;
 pub mod hrtimer;
 pub mod machine;
 pub mod process;
@@ -44,6 +45,7 @@ pub mod workload;
 
 pub use cost::CostModel;
 pub use device::{Device, DeviceId, Errno};
+pub use faults::{FaultClass, FaultPlan, FaultStats};
 pub use hrtimer::{JitterModel, TimerId};
 pub use machine::{DramModel, KernelCtx, Machine, MachineConfig, SimError};
 pub use process::{CoreId, Pid, ProcessInfo, ProcessState};

@@ -18,6 +18,7 @@ use memsim::{AccessKind, Hierarchy, HierarchyConfig};
 use crate::cost::CostModel;
 use crate::device::{Device, DeviceId, Errno};
 use crate::event::{Event, EventKind, EventQueue};
+use crate::faults::{FaultClass, FaultPlan, FaultState, FaultStats};
 use crate::hrtimer::{JitterModel, TimerId, TimerTable};
 use crate::process::{CoreId, Pid, ProcessInfo, ProcessState, ProcessTable};
 use crate::time::{CpuFreq, Duration, Instant};
@@ -52,6 +53,11 @@ pub struct MachineConfig {
     pub tool_cost_jitter: f64,
     /// Seed for all stochastic elements (jitter).
     pub seed: u64,
+    /// Fault-injection plan (the chaos layer). [`FaultPlan::NONE`] by
+    /// default: strictly opt-in, and inert plans draw no randomness, so
+    /// fault-free runs are bit-identical with the layer compiled in. See
+    /// [`crate::faults`].
+    pub faults: FaultPlan,
     /// Attach a [`pmu::ProtocolChecker`] to every core's PMU, recording
     /// MSR-protocol violations for [`Machine::protocol_violations`]. Off by
     /// default; tests that validate tool correctness turn it on.
@@ -78,6 +84,7 @@ impl MachineConfig {
             dram: DramModel::ddr3_triple_channel(),
             tool_cost_jitter: 0.10,
             seed,
+            faults: FaultPlan::NONE,
             check_msr_protocol: false,
         }
     }
@@ -101,6 +108,7 @@ impl MachineConfig {
             },
             tool_cost_jitter: 0.10,
             seed,
+            faults: FaultPlan::NONE,
             check_msr_protocol: false,
         }
     }
@@ -118,6 +126,7 @@ impl MachineConfig {
             dram: DramModel::unlimited(),
             tool_cost_jitter: 0.0,
             seed,
+            faults: FaultPlan::NONE,
             check_msr_protocol: false,
         }
     }
@@ -262,6 +271,7 @@ pub struct Machine {
     queue: EventQueue,
     rng: StdRng,
     dram: DramState,
+    faults: FaultState,
 }
 
 impl std::fmt::Debug for Machine {
@@ -313,6 +323,7 @@ impl Machine {
             queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(cfg.seed),
             dram: DramState::new(cfg.cores),
+            faults: FaultState::new(cfg.faults, cfg.seed),
         }
     }
 
@@ -428,6 +439,12 @@ impl Machine {
     /// Total time a core spent idle.
     pub fn idle_time(&self, core: CoreId) -> Duration {
         self.cores[core.0].idle_time
+    }
+
+    /// Counters of faults injected so far by the chaos layer (always all
+    /// zero unless [`MachineConfig::faults`] enabled some class).
+    pub fn fault_stats(&self) -> &FaultStats {
+        self.faults.stats()
     }
 
     /// MSR-protocol violations recorded across all cores, in core order.
@@ -668,20 +685,34 @@ impl Machine {
                 }
             }
             Syscall::Read { device, max_bytes } => {
-                let r = self.with_device(device, core, |dev, ctx| dev.read(ctx, pid, max_bytes));
-                match r {
-                    Some(Ok(bytes)) => ItemResult::Syscall {
-                        retval: bytes.len() as i64,
-                        payload: bytes,
-                    },
-                    Some(Err(errno)) => ItemResult::Syscall {
-                        retval: errno.as_retval(),
+                if self.faults.fires(FaultClass::DrainFail) {
+                    // The drain syscall fails before reaching the device
+                    // (transient copy/lock failure): EAGAIN, retryable.
+                    ItemResult::Syscall {
+                        retval: Errno::Again.as_retval(),
                         payload: Vec::new(),
-                    },
-                    None => ItemResult::Syscall {
-                        retval: Errno::NoDev.as_retval(),
-                        payload: Vec::new(),
-                    },
+                    }
+                } else {
+                    if self.faults.fires(FaultClass::DrainSlow) {
+                        let slow = self.cfg.faults.drain_slow_cycles;
+                        self.charge_kernel(core, Some(pid), slow);
+                    }
+                    let r =
+                        self.with_device(device, core, |dev, ctx| dev.read(ctx, pid, max_bytes));
+                    match r {
+                        Some(Ok(bytes)) => ItemResult::Syscall {
+                            retval: bytes.len() as i64,
+                            payload: bytes,
+                        },
+                        Some(Err(errno)) => ItemResult::Syscall {
+                            retval: errno.as_retval(),
+                            payload: Vec::new(),
+                        },
+                        None => ItemResult::Syscall {
+                            retval: Errno::NoDev.as_retval(),
+                            payload: Vec::new(),
+                        },
+                    }
                 }
             }
         };
@@ -804,8 +835,16 @@ impl Machine {
         }
         let cs = self.cfg.cost.context_switch;
         self.charge_kernel(core, prev, cs);
-        // Kprobes on the context-switch path: every module sees it.
+        // Kprobes on the context-switch path: every module sees it —
+        // unless the chaos layer drops or delays this delivery.
         for id in 0..self.devices.len() {
+            if self.faults.fires(FaultClass::CtxswDrop) {
+                continue; // probe notification lost for this device
+            }
+            if self.faults.fires(FaultClass::CtxswLate) {
+                let late = self.cfg.faults.ctxsw_late_cycles;
+                self.charge_kernel(core, prev, late);
+            }
             self.with_device(DeviceId(id), core, |dev, ctx| {
                 dev.on_context_switch(ctx, prev, next)
             });
@@ -1040,7 +1079,8 @@ impl KernelCtx<'_> {
     /// Propagates [`PmuError`] for unknown registers.
     pub fn rdmsr(&mut self, addr: u32) -> Result<u64, PmuError> {
         self.charge_kernel_cycles(self.machine.cfg.cost.rdmsr);
-        self.machine.cores[self.core.0].pmu.rdmsr(addr)
+        let fresh = self.machine.cores[self.core.0].pmu.rdmsr(addr)?;
+        Ok(self.machine.faults.filter_rdmsr(self.core.0, addr, fresh))
     }
 
     /// Writes a PMU MSR, charging the `wrmsr` cost.
@@ -1067,10 +1107,22 @@ impl KernelCtx<'_> {
 
     /// Arms `timer` to fire at `deadline` (plus jitter), charging the
     /// reprogramming cost.
+    ///
+    /// Under an active [`FaultPlan`] the expiry may be delivered late
+    /// ([`FaultClass::TimerDelay`]) or lost outright
+    /// ([`FaultClass::TimerMiss`]): the timer stays armed in the table but
+    /// no fire is ever queued, exactly the stall a lost interrupt causes —
+    /// the owning device must detect it and re-arm.
     pub fn timer_arm(&mut self, timer: TimerId, deadline: Instant) {
         self.charge_kernel_cycles(self.machine.cfg.cost.hrtimer_program);
-        let slip = self.machine.cfg.jitter.sample(&mut self.machine.rng);
+        let mut slip = self.machine.cfg.jitter.sample(&mut self.machine.rng);
+        if self.machine.faults.fires(FaultClass::TimerDelay) {
+            slip += Duration::from_nanos(self.machine.cfg.faults.timer_delay_ns);
+        }
         let generation = self.machine.timers.arm(timer, deadline);
+        if self.machine.faults.fires(FaultClass::TimerMiss) {
+            return; // expiry interrupt lost: armed, but never fires
+        }
         let core = self.machine.timers.get(timer).core;
         self.machine.queue.push(Event {
             time: deadline + slip,
@@ -1089,6 +1141,27 @@ impl KernelCtx<'_> {
     pub fn timer_cancel(&mut self, timer: TimerId) {
         self.charge_kernel_cycles(self.machine.cfg.cost.hrtimer_program);
         self.machine.timers.cancel(timer);
+    }
+
+    /// Whether `timer` is currently armed (its table deadline is set).
+    /// Note a lost expiry ([`FaultClass::TimerMiss`]) leaves the timer
+    /// armed with no fire pending — "armed" alone does not mean "alive".
+    pub fn timer_is_armed(&self, timer: TimerId) -> bool {
+        self.machine.timers.is_armed(timer)
+    }
+
+    /// Draws whether fault `class` fires at this opportunity — the oracle
+    /// devices consult for faults that live inside *their* mechanism (e.g.
+    /// kleb's ring-buffer slot loss, [`FaultClass::RingSlot`]). Always
+    /// false, with no RNG draw, when the class is disabled.
+    pub fn fault_fires(&mut self, class: FaultClass) -> bool {
+        self.machine.faults.fires(class)
+    }
+
+    /// The machine's fault plan (devices read magnitude knobs like
+    /// [`FaultPlan::ring_shrink`] from it).
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.machine.cfg.faults
     }
 
     /// The process currently on this core.
@@ -1110,7 +1183,8 @@ impl KernelCtx<'_> {
     pub fn rdmsr_on(&mut self, core: CoreId, addr: u32) -> Result<u64, PmuError> {
         let cost = self.machine.cfg.cost.rdmsr + self.machine.cfg.cost.interrupt_entry;
         self.charge_kernel_cycles(cost);
-        self.machine.cores[core.0].pmu.rdmsr(addr)
+        let fresh = self.machine.cores[core.0].pmu.rdmsr(addr)?;
+        Ok(self.machine.faults.filter_rdmsr(core.0, addr, fresh))
     }
 
     /// Writes a PMU MSR on another core (IPI round-trip, charged on the

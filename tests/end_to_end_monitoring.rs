@@ -139,6 +139,15 @@ fn buffer_safety_never_loses_samples() {
         outcome.status.samples_taken,
         "every sample the module took must reach the controller"
     );
+    assert_eq!(
+        outcome.status.samples_dropped, 0,
+        "a healthy machine pauses instead of dropping"
+    );
+    // Gap-free series: consecutive seq numbers, no gap markers.
+    for (i, s) in outcome.samples.iter().enumerate() {
+        assert_eq!(s.seq, i as u64, "sequence hole without any fault injected");
+        assert!(!s.gap);
+    }
 }
 
 #[test]

@@ -128,6 +128,73 @@ proptest! {
         }
     }
 
+    /// Under any chaos intensity the module's ledger stays exact and the
+    /// drained series stays well-formed: timestamps monotone, sequence
+    /// numbers strictly increasing, every sequence hole flagged with a gap
+    /// marker, and `drained + dropped + buffered == taken`.
+    #[test]
+    fn chaos_preserves_ledger_and_ordering(
+        seed in any::<u64>(),
+        intensity_pct in 0u32..50,
+        period_us in 100u64..2_000,
+    ) {
+        let mut config = MachineConfig::test_tiny(seed);
+        config.faults = ksim::FaultPlan::chaos(f64::from(intensity_pct) / 100.0);
+        let mut machine = Machine::new(config);
+        let outcome = Monitor::new(
+            &[HwEvent::BranchRetired],
+            Duration::from_micros(period_us),
+        )
+        .tuning(KlebTuning::microarchitectural())
+        .run(
+            &mut machine,
+            "w",
+            Box::new(FixedBlocks::new(300, WorkBlock::compute(500, 1_000))),
+        )
+        .expect("a chaotic machine still completes the run");
+        let s = &outcome.status;
+        prop_assert_eq!(
+            outcome.samples.len() as u64 + s.samples_dropped + s.buffered,
+            s.samples_taken,
+            "every taken sample is drained, dropped, or buffered — never unaccounted"
+        );
+        for w in outcome.samples.windows(2) {
+            prop_assert!(w[1].timestamp_ns >= w[0].timestamp_ns, "timestamps monotone");
+            prop_assert!(w[1].seq > w[0].seq, "seq strictly increasing");
+            if w[1].seq > w[0].seq + 1 {
+                prop_assert!(w[1].gap, "a sequence hole must carry a gap marker");
+            }
+        }
+    }
+
+    /// A zero-intensity fault plan is byte-identical to no plan at all:
+    /// enabling the chaos machinery without any chaos changes nothing.
+    #[test]
+    fn zero_intensity_chaos_is_invisible(seed in any::<u64>(), blocks in 20u64..150) {
+        let run = |faults: ksim::FaultPlan| {
+            let mut config = MachineConfig::test_tiny(seed);
+            config.faults = faults;
+            let mut machine = Machine::new(config);
+            let outcome = Monitor::new(
+                &[HwEvent::BranchRetired],
+                Duration::from_micros(500),
+            )
+            .tuning(KlebTuning::microarchitectural())
+            .run(
+                &mut machine,
+                "w",
+                Box::new(FixedBlocks::new(blocks, WorkBlock::compute(400, 900))),
+            )
+            .expect("run");
+            let mut bytes = Vec::new();
+            for s in &outcome.samples {
+                s.encode_into(&mut bytes);
+            }
+            (bytes, outcome.status, outcome.recovery)
+        };
+        prop_assert_eq!(run(ksim::FaultPlan::NONE), run(ksim::FaultPlan::chaos(0.0)));
+    }
+
     /// The machine is deterministic: identical seeds and workloads produce
     /// identical wall times and ground-truth ledgers.
     #[test]

@@ -23,4 +23,8 @@ echo "==> chaos gate (fault injection: accounting, determinism, recovery)"
 cargo test -q --test chaos
 cargo run -q --release --example fault_matrix -- --quick
 
+echo "==> trace gate (codec round-trip, corruption recovery, record->replay bit-exactness)"
+cargo test -q -p ktrace
+cargo run -q --release --example record_replay -- --quick
+
 echo "==> OK"

@@ -8,6 +8,7 @@ pub mod phases;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
+pub mod trace;
 
 pub use detector::{Detection, EwmaDetector};
 pub use metrics::{gflops, mpki, performance_loss_percent, IntensityClass};
@@ -15,3 +16,4 @@ pub use phases::{detect_phases, Phase, PhaseKind};
 pub use stats::{five_number, mad, mean, median, percentile, robust_z, stddev, FiveNumber};
 pub use table::TextTable;
 pub use timeseries::{downsample, moving_average, sparkline};
+pub use trace::{TraceSeries, LANE_INSTRUCTIONS};

@@ -1,0 +1,94 @@
+//! Trace codec cost: encode/decode throughput and bytes-per-sample on a
+//! fleet-scale stream — the storage path's answer to `fleet_ingest`.
+//!
+//! The stream generator is seeded (unified `--seed N` convention via
+//! [`kleb_bench::Scale`]), so a regression in compression ratio or
+//! throughput reproduces exactly from the printed seed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kleb::Sample;
+use kleb_bench::Scale;
+use ktrace::{decode_block, encode_block};
+
+/// Deterministic per-index noise (splitmix64 of seed ^ index).
+fn noise(seed: u64, i: u64) -> u64 {
+    let mut z = (seed ^ i).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fleet-shaped stream: near-periodic 100 µs timestamps with timer
+/// jitter, slowly varying counter deltas, two active PMC lanes.
+fn fleet_scale_stream(n: u64, seed: u64) -> Vec<Sample> {
+    let mut ts = 1_000_000u64;
+    (0..n)
+        .map(|i| {
+            ts += 100_000 + noise(seed, i) % 700;
+            Sample {
+                timestamp_ns: ts,
+                seq: i,
+                pid: 31337,
+                final_sample: i + 1 == n,
+                gap: noise(seed, i).is_multiple_of(97),
+                fixed: [
+                    1_000 + noise(seed, i) % 40,
+                    2_670 + noise(seed, i ^ 1) % 25,
+                    2_000,
+                ],
+                pmc: [40 + noise(seed, i ^ 2) % 11, noise(seed, i ^ 3) % 4, 0, 0],
+            }
+        })
+        .collect()
+}
+
+/// 16-sample drain batches, the fleet collector's typical granularity.
+fn batch_lens(n: u64) -> Vec<u64> {
+    let mut lens = vec![16u64; (n / 16) as usize];
+    if !n.is_multiple_of(16) {
+        lens.push(n % 16);
+    }
+    lens
+}
+
+fn bench_trace_codec(c: &mut Criterion) {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    println!("{}", scale.seed_line());
+
+    let mut group = c.benchmark_group("trace_codec");
+    for count in [256u64, 4096] {
+        let samples = fleet_scale_stream(count, scale.seed);
+        let lens = batch_lens(count);
+        group.throughput(Throughput::Elements(count));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("encode_{count}")),
+            &samples,
+            |b, samples| b.iter(|| encode_block(samples, &lens)),
+        );
+        let enc = encode_block(&samples, &lens);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("decode_{count}")),
+            &enc.payload,
+            |b, payload| b.iter(|| decode_block(payload, samples.len()).expect("valid payload")),
+        );
+
+        let per = enc.payload.len() as f64 / count as f64;
+        println!(
+            "trace_codec: {count} samples → {} payload bytes ({per:.2} bytes/sample, {:.1}× vs wire)",
+            enc.payload.len(),
+            kleb::RECORD_BYTES as f64 / per,
+        );
+        // The acceptance bar: the columnar codec must stay under
+        // 10 bytes/sample on the fleet-scale stream.
+        assert!(
+            per < 10.0,
+            "codec regressed to {per:.2} bytes/sample (seed {})",
+            scale.seed
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_codec);
+criterion_main!(benches);

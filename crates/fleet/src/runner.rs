@@ -15,11 +15,17 @@
 //! *which* samples survive depends on real-time interleaving; only the
 //! per-stream accounting is guaranteed, not the surviving set.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use kleb::{KlebTuning, Monitor, MonitorOutcome, Sample, SampleSink};
-use ksim::{Duration, Machine, MachineConfig, Workload};
-use pmu::HwEvent;
+use ksim::{
+    CoreId, Duration, Instant, Machine, MachineConfig, Pid, ProcessInfo, ProcessState, Workload,
+};
+use ktrace::{
+    stream_file_name, RecoveredStream, SharedWriter, StreamLedger, StreamMeta, TeeSink, TraceWriter,
+};
+use pmu::{EventCounts, HwEvent};
 
 use crate::channel::{bounded, Backpressure, ChannelStats, RecvTimeout, Sender};
 use crate::clock::{Clock, MonotonicClock};
@@ -101,6 +107,12 @@ pub struct FleetConfig {
     /// Defaults to the real [`MonotonicClock`]; inject a
     /// [`crate::TickClock`] for reproducible timing under `--seed`.
     pub clock: Arc<dyn Clock>,
+    /// When set, every machine tees its live sample stream into a
+    /// ktrace segment file under this directory (one file per stream,
+    /// named by [`ktrace::stream_file_name`]), sealed with the module's
+    /// drop ledger and the controller's recovery stats. `None` records
+    /// nothing.
+    pub persist_dir: Option<PathBuf>,
 }
 
 impl FleetConfig {
@@ -119,6 +131,7 @@ impl FleetConfig {
             faults: None,
             stall_timeout: std::time::Duration::from_secs(2),
             clock: Arc::new(MonotonicClock::new()),
+            persist_dir: None,
         }
     }
 
@@ -167,6 +180,13 @@ impl FleetConfig {
     /// Overrides the watchdog's stall timeout.
     pub fn stall_timeout(mut self, timeout: std::time::Duration) -> Self {
         self.stall_timeout = timeout;
+        self
+    }
+
+    /// Records every machine's sample stream to ktrace segments under
+    /// `dir` (created if missing at run time).
+    pub fn persist(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
         self
     }
 }
@@ -230,6 +250,81 @@ impl FleetOutcome {
     pub fn metrics_table(&self) -> String {
         self.metrics.render(self.elapsed)
     }
+
+    /// A byte digest of everything a run produced that is *deterministic
+    /// by contract*: per-machine sample streams (wire encoding), module
+    /// status, recovery stats, programmed events, the store's ingested
+    /// points, per-stream channel accounting, and the watchdog's
+    /// episode counters. Wall-clock-dependent values (elapsed, ingest
+    /// latency, queue depth, block waits) are excluded.
+    ///
+    /// Replaying a recorded run must reproduce this byte-for-byte —
+    /// that equality is the regression-testing contract.
+    pub fn digest(&self) -> Vec<u8> {
+        fn u64s(out: &mut Vec<u8>, vals: &[u64]) {
+            for v in vals {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        u64s(&mut out, &[self.machines.len() as u64]);
+        for report in &self.machines {
+            out.extend_from_slice(report.label.as_bytes());
+            out.push(0);
+            u64s(
+                &mut out,
+                &[report.seed, report.outcome.samples.len() as u64],
+            );
+            for s in &report.outcome.samples {
+                s.encode_into(&mut out);
+            }
+            for &e in &report.outcome.events {
+                out.push(e as u8);
+            }
+            let st = &report.outcome.status;
+            u64s(
+                &mut out,
+                &[
+                    st.target_alive as u64,
+                    st.buffered,
+                    st.samples_taken,
+                    st.samples_dropped,
+                    st.pauses,
+                    st.paused as u64,
+                    st.period_ns,
+                ],
+            );
+            let rec = &report.outcome.recovery;
+            u64s(
+                &mut out,
+                &[
+                    rec.drain_retries,
+                    rec.drains_abandoned,
+                    rec.kicks,
+                    rec.kicks_honoured,
+                    rec.period_doublings as u64,
+                    rec.degraded as u64,
+                ],
+            );
+        }
+        for machine in 0..self.machines.len() {
+            for lane in self.store.machine_snapshot(machine) {
+                u64s(&mut out, &[lane.len() as u64]);
+                for p in lane {
+                    u64s(&mut out, &[p.timestamp_ns, p.delta]);
+                }
+            }
+        }
+        u64s(&mut out, &self.channel.sent);
+        u64s(&mut out, &self.channel.dropped);
+        u64s(&mut out, &self.channel.delivered);
+        u64s(&mut out, &self.watchdog.stalls);
+        u64s(&mut out, &self.watchdog.resumes);
+        for &q in &self.watchdog.quarantined_at_end {
+            u64s(&mut out, &[q as u64]);
+        }
+        out
+    }
 }
 
 /// Streams one monitor's drained batches into the fleet channel.
@@ -272,23 +367,37 @@ impl FleetRunner {
     pub fn run(&self, specs: Vec<MachineSpec>) -> Result<FleetOutcome, FleetError> {
         assert!(!specs.is_empty(), "fleet needs at least one machine");
         let n = specs.len();
+        if let Some(dir) = &self.config.persist_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                return Err(FleetError::Machine {
+                    label: "<persist>".to_string(),
+                    error: format!("cannot create trace directory {}: {e}", dir.display()),
+                });
+            }
+        }
         let (mut senders, receiver) =
             bounded(n, self.config.channel_capacity, self.config.backpressure);
-        let metrics = Arc::new(FleetMetrics::new());
-        let mut store = FleetStore::new(n, self.config.events.clone(), self.config.shard_capacity);
-
-        let clock = &self.config.clock;
-        let started_ns = clock.now_ns();
         let mut handles = Vec::with_capacity(n);
         // Sender i goes to spec i: stream indices equal spec order.
         let mut senders_iter = senders.drain(..);
-        for spec in specs {
+        for (index, spec) in specs.into_iter().enumerate() {
             let tx = senders_iter.next().expect("one sender per spec");
             let monitor =
                 Monitor::new(&self.config.events, self.config.period).tuning(self.config.tuning);
             let machine_config = self.config.machine_config;
             let faults = self.config.faults;
             let label = spec.label.clone();
+            let trace_path = self
+                .config
+                .persist_dir
+                .as_ref()
+                .map(|dir| dir.join(stream_file_name(index, &spec.label)));
+            let meta = StreamMeta {
+                label: spec.label.clone(),
+                seed: spec.seed,
+                period_ns: self.config.period.as_nanos(),
+                events: self.config.events.clone(),
+            };
             let handle = std::thread::spawn(move || {
                 let mut config = machine_config(spec.seed);
                 if let Some(plan) = faults {
@@ -296,14 +405,31 @@ impl FleetRunner {
                 }
                 let mut machine = Machine::new(config);
                 let workload = (spec.workload)(spec.seed);
+                // With persistence on, the channel sink is teed through a
+                // shared trace writer; the handle stays here so the stream
+                // can be sealed with the run's final ledger.
+                let mut trace: Option<SharedWriter<std::fs::File>> = None;
+                let sink: Box<dyn SampleSink> = match &trace_path {
+                    Some(path) => {
+                        let writer = TraceWriter::create(path, &meta).map_err(|e| e.to_string())?;
+                        let shared = SharedWriter::new(writer);
+                        trace = Some(shared.clone());
+                        Box::new(TeeSink::tee(shared, Box::new(ChannelSink { tx })))
+                    }
+                    None => Box::new(ChannelSink { tx }),
+                };
                 let outcome = monitor
-                    .run_with_sink(
-                        &mut machine,
-                        &spec.label,
-                        workload,
-                        Box::new(ChannelSink { tx }),
-                    )
+                    .run_with_sink(&mut machine, &spec.label, workload, sink)
                     .map_err(|e| e.to_string())?;
+                if let Some(shared) = trace {
+                    shared
+                        .finish(&StreamLedger {
+                            samples_written: 0, // the writer fills in its own count
+                            status: outcome.status,
+                            recovery: outcome.recovery,
+                        })
+                        .map_err(|e| e.to_string())?;
+                }
                 Ok::<MachineReport, String>(MachineReport {
                     label: spec.label,
                     seed: spec.seed,
@@ -313,6 +439,73 @@ impl FleetRunner {
             handles.push((label, handle));
         }
         drop(senders_iter);
+
+        self.collect_and_join(n, receiver, handles)
+    }
+
+    /// Replays recorded streams through the collector pipeline — a
+    /// drop-in machine source. Each stream gets the thread a live
+    /// machine would have had and sends its recorded drain batches, in
+    /// order, through the same bounded channel; store ingest, channel
+    /// accounting, the watchdog and anomaly scans all see exactly what
+    /// the live run produced. Under [`Backpressure::Block`] the
+    /// resulting [`FleetOutcome::digest`] is byte-identical to the
+    /// recorded run's.
+    ///
+    /// Stream order is machine order (a [`ktrace::TraceReplayer`]
+    /// already restores it). The synthesized machine reports carry the
+    /// recorded status and recovery ledgers; the monitored-process
+    /// ground truth (`target`) is reconstructed only in outline and is
+    /// deliberately excluded from the digest.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Machine`] if a replay thread panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty.
+    pub fn replay(&self, streams: Vec<RecoveredStream>) -> Result<FleetOutcome, FleetError> {
+        assert!(!streams.is_empty(), "replay needs at least one stream");
+        let n = streams.len();
+        let (mut senders, receiver) =
+            bounded(n, self.config.channel_capacity, self.config.backpressure);
+        let mut handles = Vec::with_capacity(n);
+        let mut senders_iter = senders.drain(..);
+        for stream in streams {
+            let tx = senders_iter.next().expect("one sender per stream");
+            let label = stream.meta.label.clone();
+            let handle = std::thread::spawn(move || {
+                let mut sink = ChannelSink { tx };
+                for batch in stream.batches() {
+                    sink.on_batch(batch);
+                }
+                drop(sink);
+                Ok::<MachineReport, String>(replayed_report(stream))
+            });
+            handles.push((label, handle));
+        }
+        drop(senders_iter);
+
+        self.collect_and_join(n, receiver, handles)
+    }
+
+    /// The shared back half of [`FleetRunner::run`] and
+    /// [`FleetRunner::replay`]: drive the collector loop, join the
+    /// producer threads, assemble the outcome.
+    fn collect_and_join(
+        &self,
+        n: usize,
+        receiver: crate::channel::Receiver,
+        handles: Vec<(
+            String,
+            std::thread::JoinHandle<Result<MachineReport, String>>,
+        )>,
+    ) -> Result<FleetOutcome, FleetError> {
+        let metrics = Arc::new(FleetMetrics::new());
+        let mut store = FleetStore::new(n, self.config.events.clone(), self.config.shard_capacity);
+        let clock = &self.config.clock;
+        let started_ns = clock.now_ns();
 
         // Collector loop: drain until every sender (inside the machine
         // workloads) has dropped and the queue is empty, polling often
@@ -394,6 +587,41 @@ impl FleetRunner {
             watchdog: watchdog.report(),
             elapsed,
         })
+    }
+}
+
+/// Synthesizes the machine report for a replayed stream: samples from
+/// the trace, status and recovery from the ledger (zeroed if the ledger
+/// was destroyed), and an outline `target` — the simulator's
+/// ground-truth process state is not recorded, so only its identity is
+/// reconstructed.
+fn replayed_report(stream: RecoveredStream) -> MachineReport {
+    let ledger = stream.ledger.unwrap_or_default();
+    let last_ts = stream.samples.last().map_or(0, |s| s.timestamp_ns);
+    let pid = stream.samples.first().map_or(0, |s| s.pid);
+    let target = ProcessInfo {
+        pid: Pid(pid),
+        ppid: None,
+        name: stream.meta.label.clone(),
+        state: ProcessState::Exited,
+        core: CoreId(0),
+        spawned_at: Instant::ZERO,
+        exited_at: Some(Instant::from_nanos(last_ts)),
+        cpu_user: Duration::ZERO,
+        cpu_kernel: Duration::ZERO,
+        true_user_events: EventCounts::new(),
+        true_kernel_events: EventCounts::new(),
+    };
+    MachineReport {
+        label: stream.meta.label.clone(),
+        seed: stream.meta.seed,
+        outcome: MonitorOutcome {
+            samples: stream.samples,
+            target,
+            status: ledger.status,
+            events: stream.meta.events,
+            recovery: ledger.recovery,
+        },
     }
 }
 
@@ -526,6 +754,63 @@ mod tests {
                 report.label
             );
         }
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_the_digest() {
+        let dir = std::env::temp_dir().join(format!("fleet-replay-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Ring pressure makes the run chaotic: dropped samples, retries,
+        // a nontrivial recovery ledger — all of it must survive the disk
+        // round trip.
+        let config = quick_config()
+            .faults(ksim::FaultPlan::ring_pressure(0.4))
+            .persist(&dir);
+        let live = FleetRunner::new(config.clone())
+            .run((0..3).map(spec).collect())
+            .unwrap();
+        assert!(live
+            .machines
+            .iter()
+            .any(|m| m.outcome.status.samples_dropped > 0));
+
+        let replayer = ktrace::TraceReplayer::load_dir(&dir).unwrap();
+        assert_eq!(replayer.streams.len(), 3);
+        assert!(replayer.all_clean(), "clean recording recovers cleanly");
+        let replayed = FleetRunner::new(config).replay(replayer.streams).unwrap();
+
+        assert_eq!(
+            live.digest(),
+            replayed.digest(),
+            "replay must be byte-identical to the live run"
+        );
+        // The anomaly scanner agrees too — same store, same verdicts.
+        let cfg = crate::detect::AnomalyConfig::default();
+        assert_eq!(
+            crate::detect::scan_fleet(&live.store, &cfg),
+            crate::detect::scan_fleet(&replayed.store, &cfg)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persisted_ledger_matches_the_live_outcome() {
+        let dir = std::env::temp_dir().join(format!("fleet-persist-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let live = FleetRunner::new(quick_config().persist(&dir))
+            .run((0..2).map(spec).collect())
+            .unwrap();
+        let replayer = ktrace::TraceReplayer::load_dir(&dir).unwrap();
+        for (stream, report) in replayer.streams.iter().zip(&live.machines) {
+            assert_eq!(stream.meta.label, report.label);
+            assert_eq!(stream.meta.seed, report.seed);
+            assert_eq!(stream.samples, report.outcome.samples);
+            let ledger = stream.ledger.as_ref().unwrap();
+            assert_eq!(ledger.samples_written, report.outcome.samples.len() as u64);
+            assert_eq!(ledger.status, report.outcome.status);
+            assert_eq!(ledger.recovery, report.outcome.recovery);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

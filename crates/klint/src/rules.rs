@@ -2,8 +2,8 @@
 //!
 //! | Rule | Invariant | Scope |
 //! |------|-----------|-------|
-//! | `D1` | no wall-clock / unseeded RNG (`SystemTime::now`, `Instant::now`, argless `thread_rng()`, `from_entropy()`, `rand::random()`) — simulated time comes from `ksim::time`, randomness from seeded `StdRng` | `pmu`, `ksim`, `memsim`, `kleb`, `workloads`, `fleet` |
-//! | `D2` | no `unwrap()` / `expect()` in library code — use typed errors | `pmu`, `ksim`, `kleb` (non-test) |
+//! | `D1` | no wall-clock / unseeded RNG (`SystemTime::now`, `Instant::now`, argless `thread_rng()`, `from_entropy()`, `rand::random()`) — simulated time comes from `ksim::time`, randomness from seeded `StdRng` | `pmu`, `ksim`, `memsim`, `kleb`, `workloads`, `fleet`, `ktrace` |
+//! | `D2` | no `unwrap()` / `expect()` in library code — use typed errors | `pmu`, `ksim`, `kleb`, `ktrace` (non-test) |
 //! | `D3` | no `Ordering::Relaxed` on atomics that gate cross-thread data visibility | `fleet` (allowlist: `metrics.rs`, pure counters) |
 //! | `M1` | `wrmsr`/`rdmsr` call sites name a `pmu::msr` constant, never a bare integer MSR address | all crates (non-test) |
 //!
@@ -59,9 +59,9 @@ impl Rule {
         match self {
             Rule::D1 => matches!(
                 crate_name,
-                Some("pmu" | "ksim" | "memsim" | "kleb" | "workloads" | "fleet")
+                Some("pmu" | "ksim" | "memsim" | "kleb" | "workloads" | "fleet" | "ktrace")
             ),
-            Rule::D2 => matches!(crate_name, Some("pmu" | "ksim" | "kleb")),
+            Rule::D2 => matches!(crate_name, Some("pmu" | "ksim" | "kleb" | "ktrace")),
             Rule::D3 => matches!(crate_name, Some("fleet")),
             Rule::M1 => true,
         }

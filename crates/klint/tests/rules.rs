@@ -45,6 +45,18 @@ fn f() {
 }
 
 #[test]
+fn d1_and_d2_cover_ktrace() {
+    // The trace store is part of the deterministic core: wall-clock
+    // reads and panicking decode paths are both in scope.
+    let wall_clock = "fn f() { let _ = Instant::now(); }";
+    assert_eq!(fired("crates/ktrace/src/x.rs", wall_clock), vec![Rule::D1]);
+    let unwrap = "fn f(v: Option<u32>) -> u32 { v.unwrap() }";
+    assert_eq!(fired("crates/ktrace/src/x.rs", unwrap), vec![Rule::D2]);
+    // D2 still skips ktrace's tests/ directory.
+    assert_eq!(fired("crates/ktrace/tests/x.rs", unwrap), vec![]);
+}
+
+#[test]
 fn d1_applies_to_test_code_too() {
     let src = "
 #[cfg(test)]

@@ -1,0 +1,334 @@
+//! Columnar sample-block codec.
+//!
+//! A block's payload stores its samples column-wise, each column encoded
+//! to exploit what PMC streams actually look like (Figs. 4 and 7 of the
+//! paper: near-periodic timestamps, slowly varying per-period deltas,
+//! mostly-constant pids, rare flags):
+//!
+//! | column            | encoding |
+//! |-------------------|----------|
+//! | batch boundaries  | varint count, then varint lengths (drain batches, for replay fidelity) |
+//! | `timestamp_ns`    | varint first, zigzag-varint delta, then delta-of-delta |
+//! | `seq`             | varint first, then zigzag-varint deltas |
+//! | `pid`             | varint first, then zigzag-varint deltas |
+//! | `final`/`gap`     | sparse index lists (varint count + delta-coded positions) |
+//! | 7 counter lanes   | tag `0`: constant (one varint) · tag `1`: varint first + zigzag-varint value deltas |
+//!
+//! Near-periodic timestamps make the delta-of-delta hover around zero
+//! (one byte each); idle PMC lanes collapse to three bytes for a whole
+//! block. Decoding tolerates arbitrary bytes: every malformed payload
+//! returns `None`, never panics (the reader counts the block corrupt).
+
+use crate::format::NUM_LANES;
+use crate::varint::{apply_delta, delta, get_u64, put_u64, unzigzag, zigzag};
+use kleb::Sample;
+use pmu::NUM_FIXED;
+
+/// Column tag: every sample holds the same value.
+const TAG_CONSTANT: u8 = 0;
+/// Column tag: first value + per-sample value deltas.
+const TAG_DELTA: u8 = 1;
+
+fn lane_value(s: &Sample, lane: usize) -> u64 {
+    if lane < NUM_FIXED {
+        s.fixed[lane]
+    } else {
+        s.pmc[lane - NUM_FIXED]
+    }
+}
+
+fn set_lane_value(s: &mut Sample, lane: usize, v: u64) {
+    if lane < NUM_FIXED {
+        s.fixed[lane] = v;
+    } else {
+        s.pmc[lane - NUM_FIXED] = v;
+    }
+}
+
+fn put_sparse_flags(out: &mut Vec<u8>, samples: &[Sample], flag: impl Fn(&Sample) -> bool) {
+    let indices: Vec<u64> = samples
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| flag(s))
+        .map(|(i, _)| i as u64)
+        .collect();
+    put_u64(out, indices.len() as u64);
+    let mut prev = 0u64;
+    for (n, &i) in indices.iter().enumerate() {
+        // First index absolute, the rest as gaps (always ≥ 1).
+        put_u64(out, if n == 0 { i } else { i - prev });
+        prev = i;
+    }
+}
+
+fn get_sparse_flags(bytes: &[u8], pos: &mut usize, count: usize) -> Option<Vec<usize>> {
+    let n = get_u64(bytes, pos)?;
+    if n > count as u64 {
+        return None;
+    }
+    let mut indices = Vec::with_capacity(n as usize);
+    let mut at = 0u64;
+    for i in 0..n {
+        let v = get_u64(bytes, pos)?;
+        at = if i == 0 { v } else { at.checked_add(v)? };
+        if at >= count as u64 {
+            return None;
+        }
+        indices.push(at as usize);
+    }
+    Some(indices)
+}
+
+/// What [`encode_block`] hands the writer besides the payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedBlock {
+    /// The columnar payload.
+    pub payload: Vec<u8>,
+    /// Bit `i` ⇔ lane `i` carries a nonzero value somewhere in the block.
+    pub lane_mask: u16,
+    /// Smallest timestamp in the block.
+    pub min_ts: u64,
+    /// Largest timestamp in the block.
+    pub max_ts: u64,
+}
+
+/// Encodes `samples` (non-empty) with the given drain-batch lengths
+/// (`batch_lens` sums to `samples.len()`; the writer maintains this).
+pub fn encode_block(samples: &[Sample], batch_lens: &[u64]) -> EncodedBlock {
+    let mut payload = Vec::with_capacity(samples.len() * 10);
+
+    put_u64(&mut payload, batch_lens.len() as u64);
+    for &len in batch_lens {
+        put_u64(&mut payload, len);
+    }
+
+    // Timestamps: delta-of-delta.
+    put_u64(&mut payload, samples[0].timestamp_ns);
+    let mut prev_delta = 0i64;
+    for w in samples.windows(2) {
+        let d = delta(w[0].timestamp_ns, w[1].timestamp_ns);
+        put_u64(&mut payload, zigzag(d.wrapping_sub(prev_delta)));
+        prev_delta = d;
+    }
+
+    // Sequence numbers and pids: plain value deltas.
+    put_u64(&mut payload, samples[0].seq);
+    for w in samples.windows(2) {
+        put_u64(&mut payload, zigzag(delta(w[0].seq, w[1].seq)));
+    }
+    put_u64(&mut payload, samples[0].pid as u64);
+    for w in samples.windows(2) {
+        put_u64(
+            &mut payload,
+            zigzag(delta(w[0].pid as u64, w[1].pid as u64)),
+        );
+    }
+
+    put_sparse_flags(&mut payload, samples, |s| s.final_sample);
+    put_sparse_flags(&mut payload, samples, |s| s.gap);
+
+    let mut lane_mask = 0u16;
+    for lane in 0..NUM_LANES {
+        let first = lane_value(&samples[0], lane);
+        if samples.iter().any(|s| lane_value(s, lane) != 0) {
+            lane_mask |= 1 << lane;
+        }
+        if samples.iter().all(|s| lane_value(s, lane) == first) {
+            payload.push(TAG_CONSTANT);
+            put_u64(&mut payload, first);
+        } else {
+            payload.push(TAG_DELTA);
+            put_u64(&mut payload, first);
+            for w in samples.windows(2) {
+                put_u64(
+                    &mut payload,
+                    zigzag(delta(lane_value(&w[0], lane), lane_value(&w[1], lane))),
+                );
+            }
+        }
+    }
+
+    let min_ts = samples.iter().map(|s| s.timestamp_ns).min().unwrap_or(0);
+    let max_ts = samples.iter().map(|s| s.timestamp_ns).max().unwrap_or(0);
+    EncodedBlock {
+        payload,
+        lane_mask,
+        min_ts,
+        max_ts,
+    }
+}
+
+/// Decodes a block payload of `count` samples.
+///
+/// Returns the samples and the drain-batch lengths, or `None` for any
+/// malformed payload (truncated columns, batch lengths that do not sum to
+/// `count`, trailing garbage).
+pub fn decode_block(payload: &[u8], count: usize) -> Option<(Vec<Sample>, Vec<u64>)> {
+    if count == 0 {
+        return None;
+    }
+    let pos = &mut 0usize;
+
+    let n_batches = get_u64(payload, pos)?;
+    if n_batches > count as u64 {
+        return None;
+    }
+    let mut batch_lens = Vec::with_capacity(n_batches as usize);
+    let mut batch_total = 0u64;
+    for _ in 0..n_batches {
+        let len = get_u64(payload, pos)?;
+        batch_total = batch_total.checked_add(len)?;
+        batch_lens.push(len);
+    }
+    if batch_total != count as u64 {
+        return None;
+    }
+
+    let mut samples = vec![Sample::default(); count];
+
+    samples[0].timestamp_ns = get_u64(payload, pos)?;
+    let mut prev_delta = 0i64;
+    for i in 1..count {
+        let dod = unzigzag(get_u64(payload, pos)?);
+        prev_delta = prev_delta.wrapping_add(dod);
+        samples[i].timestamp_ns = apply_delta(samples[i - 1].timestamp_ns, prev_delta);
+    }
+
+    samples[0].seq = get_u64(payload, pos)?;
+    for i in 1..count {
+        let d = unzigzag(get_u64(payload, pos)?);
+        samples[i].seq = apply_delta(samples[i - 1].seq, d);
+    }
+    let first_pid = get_u64(payload, pos)?;
+    samples[0].pid = u32::try_from(first_pid).ok()?;
+    for i in 1..count {
+        let d = unzigzag(get_u64(payload, pos)?);
+        let pid = apply_delta(samples[i - 1].pid as u64, d);
+        samples[i].pid = u32::try_from(pid & 0xFFFF_FFFF).ok()?;
+    }
+
+    for i in get_sparse_flags(payload, pos, count)? {
+        samples[i].final_sample = true;
+    }
+    for i in get_sparse_flags(payload, pos, count)? {
+        samples[i].gap = true;
+    }
+
+    for lane in 0..NUM_LANES {
+        let tag = *payload.get(*pos)?;
+        *pos += 1;
+        match tag {
+            TAG_CONSTANT => {
+                let v = get_u64(payload, pos)?;
+                for s in samples.iter_mut() {
+                    set_lane_value(s, lane, v);
+                }
+            }
+            TAG_DELTA => {
+                let mut v = get_u64(payload, pos)?;
+                set_lane_value(&mut samples[0], lane, v);
+                for s in samples.iter_mut().skip(1) {
+                    let d = unzigzag(get_u64(payload, pos)?);
+                    v = apply_delta(v, d);
+                    set_lane_value(s, lane, v);
+                }
+            }
+            _ => return None,
+        }
+    }
+
+    if *pos != payload.len() {
+        return None; // trailing bytes: not something this codec wrote
+    }
+    Some((samples, batch_lens))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: u64) -> Vec<Sample> {
+        (0..n)
+            .map(|i| Sample {
+                timestamp_ns: 1_000_000 + i * 100_000 + (i % 3) * 17,
+                seq: i * 2, // holes
+                pid: 42,
+                final_sample: i == n - 1,
+                gap: i % 5 == 4,
+                fixed: [1_000 + i % 7, 2_670 + i % 13, 2_000],
+                pmc: [40 + i % 11, i % 3, 0, 0],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_samples_and_batches() {
+        let samples = stream(100);
+        let batches = vec![30, 50, 20];
+        let enc = encode_block(&samples, &batches);
+        let (decoded, lens) = decode_block(&enc.payload, samples.len()).unwrap();
+        assert_eq!(decoded, samples);
+        assert_eq!(lens, batches);
+        assert_eq!(enc.min_ts, samples[0].timestamp_ns);
+        assert_eq!(enc.max_ts, samples[99].timestamp_ns);
+    }
+
+    #[test]
+    fn lane_mask_marks_active_lanes_only() {
+        let samples = stream(10);
+        let enc = encode_block(&samples, &[10]);
+        // fixed 0..3 active, pmc0 active, pmc1 active (i%3), pmc2/3 idle.
+        assert_eq!(enc.lane_mask & 0b111, 0b111);
+        assert_ne!(enc.lane_mask & (1 << 3), 0);
+        assert_eq!(enc.lane_mask & (1 << 5), 0);
+        assert_eq!(enc.lane_mask & (1 << 6), 0);
+    }
+
+    #[test]
+    fn dense_stream_beats_ten_bytes_per_sample() {
+        let samples = stream(512);
+        let enc = encode_block(&samples, &[512]);
+        let per = enc.payload.len() as f64 / samples.len() as f64;
+        assert!(per < 10.0, "got {per:.2} bytes/sample");
+    }
+
+    #[test]
+    fn single_sample_block_round_trips() {
+        let samples = stream(1);
+        let enc = encode_block(&samples, &[1]);
+        let (decoded, lens) = decode_block(&enc.payload, 1).unwrap();
+        assert_eq!(decoded, samples);
+        assert_eq!(lens, vec![1]);
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let mut samples = stream(4);
+        samples[1].timestamp_ns = u64::MAX;
+        samples[2].timestamp_ns = 0;
+        samples[1].fixed[0] = u64::MAX;
+        samples[2].pmc[3] = u64::MAX;
+        samples[3].pid = u32::MAX;
+        let enc = encode_block(&samples, &[4]);
+        let (decoded, _) = decode_block(&enc.payload, 4).unwrap();
+        assert_eq!(decoded, samples);
+    }
+
+    #[test]
+    fn malformed_payloads_decode_to_none() {
+        let samples = stream(20);
+        let enc = encode_block(&samples, &[20]);
+        // Truncation at every byte boundary: None, never a panic.
+        for cut in 0..enc.payload.len() {
+            assert!(decode_block(&enc.payload[..cut], 20).is_none(), "cut {cut}");
+        }
+        // Wrong count.
+        assert!(decode_block(&enc.payload, 19).is_none());
+        // Trailing garbage.
+        let mut long = enc.payload.clone();
+        long.push(0);
+        assert!(decode_block(&long, 20).is_none());
+        // Arbitrary garbage bytes.
+        assert!(decode_block(&[0xFF; 64], 20).is_none());
+    }
+}

@@ -1,0 +1,530 @@
+//! Trace reading, index-driven filtering, and corruption recovery.
+//!
+//! The reader trusts nothing it has not checksummed. Scanning is a
+//! single forward pass over the body: validate a block header (its own
+//! CRC), then its payload (the payload CRC), then decode. Damage
+//! degrades, never panics:
+//!
+//! - a CRC-bad or undecodable payload under a valid header skips the
+//!   block and counts its samples lost (the header's `count` is
+//!   trustworthy);
+//! - a smashed header triggers a byte-wise *resync* scan for the next
+//!   valid block magic — later blocks survive mid-file damage, and the
+//!   `first_index` gap between the last good block and the next one
+//!   counts exactly the samples destroyed in between;
+//! - a truncated tail is discarded and flagged.
+//!
+//! Everything observed lands in the [`RecoveryReport`]; with the ledger
+//! (or the writer's own count) in hand, every sample of the original
+//! stream is classified recovered or lost — see
+//! [`RecoveryReport::total_lost`].
+
+use crate::codec::decode_block;
+use crate::crc::crc32;
+use crate::format::{
+    BlockHeader, StreamLedger, StreamMeta, TraceError, BLOCK_HEADER_LEN, KIND_LEDGER, KIND_SAMPLES,
+};
+use kleb::Sample;
+use pmu::{HwEvent, NUM_FIXED};
+
+/// What a recovery pass saw. All counters are exact, never estimates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Blocks that decoded cleanly (ledger included).
+    pub blocks_ok: u64,
+    /// Blocks with a valid header but a CRC-bad or undecodable payload.
+    pub blocks_corrupt: u64,
+    /// Times the scanner lost the block framing and hunted for the next
+    /// magic.
+    pub resyncs: u64,
+    /// Bytes discarded while resynchronising.
+    pub bytes_skipped: u64,
+    /// Samples decoded and returned.
+    pub samples_recovered: u64,
+    /// Samples known destroyed: corrupt-block counts plus `first_index`
+    /// gaps between readable blocks (and up to the ledger's total when
+    /// it survived).
+    pub samples_lost: u64,
+    /// Trailing bytes too short or too damaged to frame a block.
+    pub tail_bytes_discarded: u64,
+    /// The body ended mid-block (crash or truncation).
+    pub tail_truncated: bool,
+    /// No ledger block survived — the stream total must come from the
+    /// writer (or the caller's ground truth).
+    pub ledger_missing: bool,
+}
+
+impl RecoveryReport {
+    /// No damage of any kind.
+    pub fn is_clean(&self) -> bool {
+        self.blocks_corrupt == 0
+            && self.resyncs == 0
+            && self.bytes_skipped == 0
+            && self.samples_lost == 0
+            && self.tail_bytes_discarded == 0
+            && !self.tail_truncated
+            && !self.ledger_missing
+    }
+
+    /// Total samples lost against a known stream total (the ledger's
+    /// `samples_written`, or ground truth): in-body losses plus whatever
+    /// fell off the damaged tail.
+    pub fn total_lost(&self, expected_total: u64) -> u64 {
+        expected_total.saturating_sub(self.samples_recovered)
+    }
+}
+
+/// A fully (or partially, after damage) recovered stream.
+#[derive(Debug, Clone)]
+pub struct RecoveredStream {
+    /// Stream identity from the file header.
+    pub meta: StreamMeta,
+    /// Recovered samples, stream order.
+    pub samples: Vec<Sample>,
+    /// Drain-batch lengths for [`RecoveredStream::batches`]; sums to
+    /// `samples.len()`.
+    pub batch_lens: Vec<u64>,
+    /// The end-of-stream ledger, if it survived.
+    pub ledger: Option<StreamLedger>,
+    /// What recovery saw.
+    pub report: RecoveryReport,
+}
+
+impl RecoveredStream {
+    /// The samples re-grouped into their original drain batches — what
+    /// replay feeds back through the fleet channel.
+    pub fn batches(&self) -> impl Iterator<Item = &[Sample]> {
+        let mut at = 0usize;
+        self.batch_lens.iter().map(move |&len| {
+            let start = at;
+            at += len as usize;
+            &self.samples[start..at]
+        })
+    }
+}
+
+/// Block-skipping predicate for filtered reads: a half-open time range
+/// plus an optional lane that must be active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFilter {
+    /// Inclusive start, nanoseconds.
+    pub start_ns: u64,
+    /// Exclusive end, nanoseconds.
+    pub end_ns: u64,
+    /// Lane (0‥2 fixed, 3‥6 pmc) that must be nonzero somewhere in a
+    /// block for it to be read; `None` reads all lanes.
+    pub lane: Option<usize>,
+}
+
+impl ReadFilter {
+    /// Everything: all time, all lanes.
+    pub fn all() -> Self {
+        Self {
+            start_ns: 0,
+            end_ns: u64::MAX,
+            lane: None,
+        }
+    }
+
+    /// Restricts to `[start_ns, end_ns)`.
+    pub fn range(mut self, start_ns: u64, end_ns: u64) -> Self {
+        self.start_ns = start_ns;
+        self.end_ns = end_ns;
+        self
+    }
+
+    /// Requires lane `lane` to be active in a block.
+    pub fn lane(mut self, lane: usize) -> Self {
+        self.lane = Some(lane);
+        self
+    }
+
+    fn admits(&self, header: &BlockHeader) -> bool {
+        if header.max_ts < self.start_ns || header.min_ts >= self.end_ns {
+            return false;
+        }
+        match self.lane {
+            Some(lane) => header.lane_mask & (1u16 << lane) != 0,
+            None => true,
+        }
+    }
+}
+
+/// A filtered read's result: the matching samples plus proof the index
+/// did its job.
+#[derive(Debug, Clone)]
+pub struct FilteredRead {
+    /// Samples inside the filter's time range, from admitted blocks.
+    pub samples: Vec<Sample>,
+    /// Blocks whose payload was decoded.
+    pub blocks_read: u64,
+    /// Blocks skipped purely on their header index, payload untouched.
+    pub blocks_skipped: u64,
+    /// The recovery counters for the pass.
+    pub report: RecoveryReport,
+}
+
+/// A decoded trace held in memory, ready for repeated filtered reads.
+#[derive(Debug, Clone)]
+pub struct TraceReader {
+    meta: StreamMeta,
+    bytes: Vec<u8>,
+    body_offset: usize,
+}
+
+impl TraceReader {
+    /// Opens and validates `path`'s file header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] if the file cannot be read,
+    /// [`TraceError::BadHeader`] if it is not a ktrace segment.
+    pub fn open(path: &std::path::Path) -> Result<Self, TraceError> {
+        Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Wraps an in-memory trace image.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadHeader`] if the file header is damaged — with no
+    /// stream identity there is nothing to recover against.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, TraceError> {
+        let (meta, body_offset) = StreamMeta::decode_header(&bytes)?;
+        Ok(Self {
+            meta,
+            bytes,
+            body_offset,
+        })
+    }
+
+    /// The stream's identity.
+    pub fn meta(&self) -> &StreamMeta {
+        &self.meta
+    }
+
+    /// The lane index (for [`ReadFilter::lane`]) carrying `event`, if it
+    /// was configured on this stream.
+    pub fn lane_of(&self, event: HwEvent) -> Option<usize> {
+        self.meta
+            .events
+            .iter()
+            .position(|&e| e == event)
+            .map(|i| NUM_FIXED + i)
+    }
+
+    /// Recovers the whole stream (batch structure and ledger included).
+    pub fn read_all(&self) -> RecoveredStream {
+        let mut samples = Vec::new();
+        let mut batch_lens = Vec::new();
+        let mut ledger = None;
+        let report = self.scan(
+            |_| true,
+            |s, b| {
+                samples.extend_from_slice(s);
+                batch_lens.extend_from_slice(b);
+            },
+            &mut ledger,
+        );
+        RecoveredStream {
+            meta: self.meta.clone(),
+            samples,
+            batch_lens,
+            ledger,
+            report,
+        }
+    }
+
+    /// Reads only the samples admitted by `filter`, skipping
+    /// non-matching blocks via the header index without touching their
+    /// payloads.
+    pub fn read_filtered(&self, filter: &ReadFilter) -> FilteredRead {
+        let mut samples = Vec::new();
+        let mut blocks_read = 0u64;
+        let mut blocks_skipped = 0u64;
+        let mut ledger = None;
+        let report = self.scan(
+            |header| {
+                if filter.admits(header) {
+                    blocks_read += 1;
+                    true
+                } else {
+                    blocks_skipped += 1;
+                    false
+                }
+            },
+            |s, _| {
+                samples.extend(
+                    s.iter()
+                        .filter(|s| {
+                            s.timestamp_ns >= filter.start_ns && s.timestamp_ns < filter.end_ns
+                        })
+                        .copied(),
+                );
+            },
+            &mut ledger,
+        );
+        FilteredRead {
+            samples,
+            blocks_read,
+            blocks_skipped,
+            report,
+        }
+    }
+
+    /// The forward recovery scan shared by all reads. `admit` decides
+    /// per valid header whether to decode the payload; `emit` receives
+    /// each decoded block's samples and batch lengths.
+    fn scan(
+        &self,
+        mut admit: impl FnMut(&BlockHeader) -> bool,
+        mut emit: impl FnMut(&[Sample], &[u64]),
+        ledger: &mut Option<StreamLedger>,
+    ) -> RecoveryReport {
+        let body = &self.bytes[self.body_offset.min(self.bytes.len())..];
+        let mut report = RecoveryReport::default();
+        let mut next_index = 0u64; // samples accounted for so far
+        let mut pos = 0usize;
+        let mut resyncing = false;
+        while pos < body.len() {
+            let Some(header) = BlockHeader::decode(&body[pos..]) else {
+                if body.len() - pos < BLOCK_HEADER_LEN {
+                    // Too short to ever frame a block: a truncated tail.
+                    report.tail_bytes_discarded += (body.len() - pos) as u64;
+                    report.tail_truncated = true;
+                    break;
+                }
+                // Smashed header: hunt byte-wise for the next magic.
+                if !resyncing {
+                    report.resyncs += 1;
+                    resyncing = true;
+                }
+                report.bytes_skipped += 1;
+                pos += 1;
+                continue;
+            };
+            resyncing = false;
+            let payload_start = pos + BLOCK_HEADER_LEN;
+            let payload_end = payload_start + header.payload_len as usize;
+            let Some(payload) = body.get(payload_start..payload_end) else {
+                // Valid header but the payload ran off the end: crash tail.
+                report.tail_bytes_discarded += (body.len() - pos) as u64;
+                report.tail_truncated = true;
+                if header.kind == KIND_SAMPLES {
+                    // The header is trustworthy: those samples are gone.
+                    if header.first_index > next_index {
+                        report.samples_lost += header.first_index - next_index;
+                    }
+                    report.samples_lost += header.count as u64;
+                }
+                break;
+            };
+            let payload_ok = crc32(payload) == header.payload_crc;
+            match header.kind {
+                KIND_SAMPLES => {
+                    // Samples destroyed between the previous readable
+                    // block and this one show up as an index gap.
+                    if header.first_index > next_index {
+                        report.samples_lost += header.first_index - next_index;
+                    }
+                    next_index = header.first_index + header.count as u64;
+                    if !payload_ok {
+                        report.blocks_corrupt += 1;
+                        report.samples_lost += header.count as u64;
+                    } else if admit(&header) {
+                        match decode_block(payload, header.count as usize) {
+                            Some((samples, batch_lens)) => {
+                                report.blocks_ok += 1;
+                                report.samples_recovered += samples.len() as u64;
+                                emit(&samples, &batch_lens);
+                            }
+                            None => {
+                                report.blocks_corrupt += 1;
+                                report.samples_lost += header.count as u64;
+                            }
+                        }
+                    } else {
+                        // Skipped by the index: present, just not wanted.
+                        report.blocks_ok += 1;
+                        report.samples_recovered += header.count as u64;
+                    }
+                }
+                KIND_LEDGER => {
+                    if header.first_index > next_index {
+                        report.samples_lost += header.first_index - next_index;
+                    }
+                    next_index = next_index.max(header.first_index);
+                    if payload_ok {
+                        match StreamLedger::decode(payload) {
+                            Some(l) => {
+                                report.blocks_ok += 1;
+                                *ledger = Some(l);
+                            }
+                            None => report.blocks_corrupt += 1,
+                        }
+                    } else {
+                        report.blocks_corrupt += 1;
+                    }
+                }
+                _ => {} // unreachable: BlockHeader::decode rejects unknown kinds
+            }
+            pos = payload_end;
+        }
+        report.ledger_missing = ledger.is_none();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+
+    fn meta() -> StreamMeta {
+        StreamMeta {
+            label: "r".into(),
+            seed: 5,
+            period_ns: 100_000,
+            events: vec![HwEvent::LlcReference, HwEvent::LlcMiss],
+        }
+    }
+
+    fn sample(i: u64) -> Sample {
+        Sample {
+            timestamp_ns: (i + 1) * 100_000,
+            seq: i,
+            pid: 3,
+            fixed: [1_000 + i % 5, 2_670, 2_000],
+            pmc: [7 + i % 3, if i >= 64 { 9 } else { 0 }, 0, 0],
+            ..Sample::default()
+        }
+    }
+
+    fn written(n: u64, target: usize) -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new(), &meta())
+            .unwrap()
+            .block_target(target);
+        for chunk in (0..n).collect::<Vec<_>>().chunks(16) {
+            let batch: Vec<Sample> = chunk.iter().map(|&i| sample(i)).collect();
+            w.append_batch(&batch).unwrap();
+        }
+        w.finish(&StreamLedger {
+            status: kleb::ModuleStatus {
+                samples_taken: n,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        w.into_inner()
+    }
+
+    #[test]
+    fn clean_round_trip_with_ledger() {
+        let bytes = written(100, 32);
+        let reader = TraceReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.meta(), &meta());
+        let rec = reader.read_all();
+        assert!(rec.report.is_clean(), "{:?}", rec.report);
+        assert_eq!(rec.samples.len(), 100);
+        assert_eq!(rec.batch_lens.iter().sum::<u64>(), 100);
+        let ledger = rec.ledger.unwrap();
+        assert_eq!(ledger.samples_written, 100);
+        assert_eq!(ledger.status.samples_taken, 100);
+        for (i, s) in rec.samples.iter().enumerate() {
+            assert_eq!(*s, sample(i as u64));
+        }
+        // Batches reconstruct in order.
+        let lens: Vec<usize> = rec.batches().map(|b| b.len()).collect();
+        assert!(lens.iter().all(|&l| l == 16 || l == 4));
+    }
+
+    #[test]
+    fn range_filter_skips_blocks_via_index() {
+        let bytes = written(128, 32);
+        let reader = TraceReader::from_bytes(bytes).unwrap();
+        let filtered = reader.read_filtered(&ReadFilter::all().range(3_300_000, 6_500_000));
+        assert!(filtered.blocks_skipped >= 1, "index skipped whole blocks");
+        assert!(filtered
+            .samples
+            .iter()
+            .all(|s| (3_300_000..6_500_000).contains(&s.timestamp_ns)));
+        // Same answer as brute-force filtering of a full read.
+        let brute: Vec<Sample> = reader
+            .read_all()
+            .samples
+            .into_iter()
+            .filter(|s| (3_300_000..6_500_000).contains(&s.timestamp_ns))
+            .collect();
+        assert_eq!(filtered.samples, brute);
+    }
+
+    #[test]
+    fn lane_filter_skips_inactive_blocks() {
+        // pmc[1] only fires from sample 64 on; with 32-sample blocks the
+        // first two blocks are skippable by the lane index.
+        let bytes = written(128, 32);
+        let reader = TraceReader::from_bytes(bytes).unwrap();
+        let lane = reader.lane_of(HwEvent::LlcMiss).unwrap();
+        let filtered = reader.read_filtered(&ReadFilter::all().lane(lane));
+        assert!(filtered.blocks_skipped >= 2, "{filtered:?}");
+        assert!(filtered.samples.iter().all(|s| s.seq >= 64));
+        assert_eq!(reader.lane_of(HwEvent::ArithMul), None);
+    }
+
+    #[test]
+    fn corrupt_payload_is_skipped_and_counted() {
+        let mut bytes = written(96, 32);
+        // Flip one byte somewhere inside the second block's payload.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let rec = TraceReader::from_bytes(bytes).unwrap().read_all();
+        assert!(!rec.report.is_clean());
+        assert_eq!(
+            rec.report.samples_recovered + rec.report.samples_lost,
+            96,
+            "every sample classified: {:?}",
+            rec.report
+        );
+        assert!(rec.report.samples_lost > 0);
+    }
+
+    #[test]
+    fn smashed_header_resyncs_to_later_blocks() {
+        let bytes = written(96, 32);
+        let reader = TraceReader::from_bytes(bytes.clone()).unwrap();
+        let clean = reader.read_all();
+        assert_eq!(clean.samples.len(), 96);
+        // Smash the first block's header (just past the file header).
+        let mut smashed = bytes;
+        let body = meta().encode_header().len();
+        for b in &mut smashed[body..body + 8] {
+            *b ^= 0xA5;
+        }
+        let rec = TraceReader::from_bytes(smashed).unwrap().read_all();
+        assert!(rec.report.resyncs >= 1);
+        assert!(
+            rec.samples.len() >= 32,
+            "later blocks recovered: {}",
+            rec.samples.len()
+        );
+        assert_eq!(
+            rec.report.samples_recovered + rec.report.samples_lost,
+            96,
+            "index gaps account for the destroyed block: {:?}",
+            rec.report
+        );
+        assert!(rec.ledger.is_some(), "ledger survives mid-file damage");
+    }
+
+    #[test]
+    fn truncated_tail_is_flagged_not_fatal() {
+        let bytes = written(96, 32);
+        let cut = bytes.len() - 40;
+        let rec = TraceReader::from_bytes(bytes[..cut].to_vec())
+            .unwrap()
+            .read_all();
+        assert!(rec.report.tail_truncated || rec.report.ledger_missing);
+        assert!(rec.report.total_lost(96) == 96 - rec.report.samples_recovered);
+    }
+}

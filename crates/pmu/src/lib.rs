@@ -57,7 +57,7 @@ pub mod protocol;
 mod unit;
 
 pub use counter::{Counter, COUNTER_WIDTH_BITS};
-pub use event::{EventCode, EventCounts, HwEvent, Privilege, N_EVENTS};
+pub use event::{EventCode, EventCounts, HwEvent, Privilege, ALL_EVENTS, N_EVENTS};
 pub use eventsel::EventSel;
 pub use multiplex::{MultiplexEstimate, Multiplexer};
 pub use protocol::{ProtocolChecker, ProtocolViolation};

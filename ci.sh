@@ -27,4 +27,7 @@ echo "==> trace gate (codec round-trip, corruption recovery, record->replay bit-
 cargo test -q -p ktrace
 cargo run -q --release --example record_replay -- --quick
 
+echo "==> perf-smoke gate (ingest transports: SPSC ring >= 2x Mutex at N=64, drop ledger balanced)"
+cargo run -q --release -p kleb-bench --bin ingest_perf -- --quick
+
 echo "==> OK"

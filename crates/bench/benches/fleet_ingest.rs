@@ -1,12 +1,13 @@
 //! Fleet store ingestion cost: the collector's hot path, isolated.
 //!
 //! Measures `FleetStore::ingest` throughput for batches fanning out to
-//! five lanes (three fixed + two events), and the channel send/recv pair
-//! under the Block policy — the two operations every sample pays on its
-//! way from a monitor to the store.
+//! five lanes (three fixed + two events), and both transports' send/recv
+//! pair under the Block policy — the Mutex channel and the SPSC ring
+//! fan-in side by side, so a regression in either (or the gap between
+//! them) shows up in one run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fleet::{bounded, Backpressure, FleetStore};
+use fleet::{bounded, ring_fanin, Backpressure, FleetStore, Polled};
 use kleb::Sample;
 use pmu::HwEvent;
 
@@ -58,5 +59,28 @@ fn bench_channel_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_store_ingest, bench_channel_roundtrip);
+fn bench_ring_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_ring_roundtrip");
+    let batch_len = 256u64;
+    group.throughput(Throughput::Elements(batch_len));
+    let samples = batch(batch_len);
+    group.bench_function("push_poll_256", |b| {
+        let (mut tx, mut collector) = ring_fanin(1, 1024, Backpressure::Block);
+        let mut scratch: Vec<Sample> = Vec::new();
+        b.iter(|| {
+            tx[0].send(&samples);
+            let polled = collector.poll(std::time::Duration::from_millis(10), &mut scratch);
+            assert!(matches!(polled, Polled::Batch { .. }));
+            scratch.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store_ingest,
+    bench_channel_roundtrip,
+    bench_ring_roundtrip
+);
 criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Raw SPSC ring cost: batched push/pop with no fleet framing.
+//!
+//! Uncontended single-thread laps around a `kchan` ring at the batch
+//! sizes the ingest path actually sees (1/8/64 samples), plus a full
+//! 80-byte `Sample` payload lap — the floor the fan-in in
+//! `fleet::ingest` builds on. Each lap is one `try_push` (one release
+//! store) and one `pop_into` (one acquire load), so per-element cost at
+//! growing batch sizes shows how the single fence amortises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kchan::ring;
+use kleb::Sample;
+
+fn bench_u64_laps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kchan_spsc_u64");
+    for batch in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements(batch as u64));
+        let data: Vec<u64> = (0..batch as u64).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("batch_{batch}")),
+            &data,
+            |b, data| {
+                let (mut tx, mut rx) = ring::<u64>(1024);
+                let mut out: Vec<u64> = Vec::with_capacity(data.len());
+                b.iter(|| {
+                    let pushed = tx.try_push(data);
+                    out.clear();
+                    let popped = rx.pop_into(&mut out, data.len());
+                    assert_eq!(pushed, popped);
+                    popped
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sample_laps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kchan_spsc_sample");
+    let batch = 8usize;
+    group.throughput(Throughput::Elements(batch as u64));
+    let data: Vec<Sample> = (0..batch as u64)
+        .map(|i| Sample {
+            timestamp_ns: (i + 1) * 100_000,
+            seq: i,
+            pid: 7,
+            fixed: [1_000 + i, 2_670 * (i + 1), 2_000],
+            pmc: [40 + i % 11, 7 + i % 3, 0, 0],
+            ..Sample::default()
+        })
+        .collect();
+    group.bench_function("batch_8_samples", |b| {
+        let (mut tx, mut rx) = ring::<Sample>(1024);
+        let mut out: Vec<Sample> = Vec::with_capacity(batch);
+        b.iter(|| {
+            let pushed = tx.try_push(&data);
+            out.clear();
+            let popped = rx.pop_into(&mut out, batch);
+            assert_eq!(pushed, popped);
+            popped
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_u64_laps, bench_sample_laps);
+criterion_main!(benches);

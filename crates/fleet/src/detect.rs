@@ -94,14 +94,16 @@ pub fn scan_fleet(store: &FleetStore, config: &AnomalyConfig) -> FleetAnomalyRep
     let z = analysis::robust_z(&overall);
     let verdicts: Vec<MachineVerdict> = (0..store.machines())
         .map(|m| {
-            let series = store.mpki_series(m, miss_lane);
+            // The detector streams the lazy MPKI iterator; the series is
+            // never materialized.
+            let len = store.lane_len(m, miss_lane);
             let alarms = EwmaDetector::for_counter_series()
-                .scan(series.iter().copied())
+                .scan(store.mpki_iter(m, miss_lane))
                 .len();
-            let ewma_alarm_fraction = if series.is_empty() {
+            let ewma_alarm_fraction = if len == 0 {
                 0.0
             } else {
-                alarms as f64 / series.len() as f64
+                alarms as f64 / len as f64
             };
             let flagged = z[m] >= config.robust_z_threshold && overall[m] >= config.mpki_floor;
             MachineVerdict {

@@ -1,0 +1,453 @@
+//! The lock-free ingest fan-in: one SPSC ring per machine.
+//!
+//! The shared [`crate::channel`] queue pays a `Mutex` round-trip (and
+//! under contention a futex syscall) for every batch on both ends. This
+//! module replaces that fan-in with one [`kchan`] single-producer/
+//! single-consumer ring per machine: each monitor thread publishes its
+//! drained batches into its own ring with a single release store, and
+//! the collector sweeps the rings round-robin with a single acquire load
+//! per ring — no locks anywhere on the data path.
+//!
+//! The collector still parks when there is nothing to do, but only when
+//! *all* rings are empty, through a one-directional doorbell: it raises
+//! a `parked` flag, re-sweeps every ring (closing the race against a
+//! producer that published just before the flag went up), and only then
+//! waits on a `Condvar` with a timeout. Producers check the flag after
+//! each publication — a `SeqCst` fence on both sides of the handshake
+//! means either the collector's re-sweep sees the new samples or the
+//! producer sees `parked == true` and rings the bell; the bounded
+//! `Condvar` timeout (the watchdog's poll interval) is the safety net
+//! for the remaining pathological schedules, costing at worst one poll
+//! interval of latency, never a lost sample.
+//!
+//! Accounting is ledger-compatible with [`ChannelStats`]: per stream,
+//! `sent = pushed + dropped` and everything pushed is eventually
+//! `delivered`, so `sent == delivered + dropped` once the run drains.
+//! Two deliberate semantic differences from the Mutex channel, both
+//! outside the determinism contract (see [`crate::runner::FleetOutcome::digest`]):
+//!
+//! - `depth_high_water` is measured in *samples* (the rings hold
+//!   samples, not batches).
+//! - With per-stream rings, the oldest queued data in a full ring
+//!   belongs to the *sending* stream, so [`Backpressure::DropOldest`]
+//!   and [`Backpressure::DropNewest`] converge: the overflow is
+//!   discarded and charged to the sender. The runner's documented
+//!   contract under the Drop policies — exact per-stream accounting,
+//!   not a particular surviving set — is unchanged.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use kleb::Sample;
+
+use crate::channel::{Backpressure, ChannelStats};
+
+/// Which fan-in carries drained batches from the machines to the
+/// collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// One lock-free SPSC ring per machine (this module). The default.
+    #[default]
+    SpscRing,
+    /// The shared `Mutex`+`Condvar` queue ([`crate::channel`]). Kept as
+    /// the reference implementation: digest-equality against it is the
+    /// proof that the ring path is observationally pure, and the bench
+    /// suite measures both in the same run.
+    MutexChannel,
+}
+
+/// The collector-side doorbell producers ring when they publish into an
+/// empty-looking fleet while the collector is parked.
+#[derive(Debug, Default)]
+struct Doorbell {
+    lock: Mutex<()>,
+    bell: Condvar,
+    /// True while the collector is inside (or committing to) a wait.
+    parked: AtomicBool,
+    /// Total blocking episodes across all producers (Block policy).
+    block_waits: AtomicU64,
+}
+
+impl Doorbell {
+    /// Wakes the collector if (and only if) it is parked.
+    fn ring(&self) {
+        // Pairs with the collector's store(parked, true) + fence: the
+        // fence orders our ring writes before this load, so either the
+        // collector's re-sweep sees the samples or we see the flag.
+        fence(Ordering::SeqCst);
+        if self.parked.load(Ordering::SeqCst) {
+            // Empty critical section: the flag is checked under no lock,
+            // but the collector only waits *after* raising the flag and
+            // re-sweeping, so taking the lock here forces it out of any
+            // in-progress wait.
+            drop(self.lock.lock());
+            self.bell.notify_all();
+        }
+    }
+}
+
+/// Creates the ring fan-in for `streams` producers, each ring holding
+/// `capacity_samples` samples (rounded up to a power of two), returning
+/// one [`RingSender`] per stream plus the collector's [`RingCollector`].
+///
+/// # Panics
+///
+/// Panics if `streams == 0` or `capacity_samples == 0`.
+pub fn ring_fanin(
+    streams: usize,
+    capacity_samples: usize,
+    policy: Backpressure,
+) -> (Vec<RingSender>, RingCollector) {
+    assert!(streams > 0, "need at least one stream");
+    assert!(capacity_samples > 0, "ring capacity must be non-zero");
+    let doorbell = Arc::new(Doorbell::default());
+    let mut senders = Vec::with_capacity(streams);
+    let mut rings = Vec::with_capacity(streams);
+    for _ in 0..streams {
+        let (tx, rx) = kchan::ring::<Sample>(capacity_samples);
+        senders.push(RingSender {
+            producer: tx,
+            policy,
+            doorbell: Arc::clone(&doorbell),
+        });
+        rings.push(rx);
+    }
+    let collector = RingCollector {
+        delivered: vec![0; streams],
+        rings,
+        doorbell,
+        depth_high_water: 0,
+        next: 0,
+    };
+    (senders, collector)
+}
+
+/// The producing end for one stream: wraps the stream's ring with the
+/// fleet's backpressure policy. Dropping it signals stream end.
+#[derive(Debug)]
+pub struct RingSender {
+    producer: kchan::Producer<Sample>,
+    policy: Backpressure,
+    doorbell: Arc<Doorbell>,
+}
+
+impl RingSender {
+    /// Publishes one drained batch under the backpressure policy.
+    ///
+    /// Empty batches are a no-op, matching [`crate::channel::Sender`].
+    pub fn send(&mut self, samples: &[Sample]) {
+        if samples.is_empty() {
+            return;
+        }
+        match self.policy {
+            Backpressure::Block => {
+                let mut sent = self.producer.try_push(samples);
+                if sent < samples.len() {
+                    // One blocking episode, however long the wait: the
+                    // collector is behind and must make room. Spin with
+                    // yields first (the collector is usually mid-sweep),
+                    // then back off to short sleeps.
+                    self.doorbell.block_waits.fetch_add(1, Ordering::AcqRel);
+                    let mut fruitless = 0u32;
+                    while sent < samples.len() {
+                        let accepted = self.producer.try_push(&samples[sent..]);
+                        sent += accepted;
+                        if accepted == 0 {
+                            // The collector may have parked between our
+                            // last push and its sweep; a full ring it has
+                            // not seen means the bell must ring.
+                            self.doorbell.ring();
+                            fruitless += 1;
+                            if fruitless < 64 {
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::sleep(std::time::Duration::from_micros(50));
+                            }
+                        } else {
+                            fruitless = 0;
+                        }
+                    }
+                }
+            }
+            // Per-stream rings make the two Drop policies equivalent (see
+            // the module docs): discard the overflow, charge the sender.
+            Backpressure::DropOldest | Backpressure::DropNewest => {
+                let accepted = self.producer.try_push(samples);
+                self.producer
+                    .mark_dropped((samples.len() - accepted) as u64);
+            }
+        }
+        self.doorbell.ring();
+    }
+}
+
+/// What [`RingCollector::poll`] observed — the ring-transport analogue
+/// of [`crate::channel::RecvTimeout`], with the samples delivered
+/// through the caller's reusable scratch buffer instead of a fresh
+/// allocation per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polled {
+    /// Samples arrived: the scratch buffer holds them, in stream order.
+    Batch {
+        /// Index of the producing machine.
+        machine: usize,
+    },
+    /// The window elapsed with every ring empty but producers alive.
+    Timeout,
+    /// Every producer has dropped and every ring is drained.
+    Disconnected,
+}
+
+/// The collector end: sweeps every stream's ring round-robin, parking
+/// on the doorbell only when all of them are empty.
+#[derive(Debug)]
+pub struct RingCollector {
+    rings: Vec<kchan::Consumer<Sample>>,
+    doorbell: Arc<Doorbell>,
+    delivered: Vec<u64>,
+    /// Deepest any single ring ever got, in samples.
+    depth_high_water: usize,
+    /// Round-robin cursor: the first ring the next sweep inspects.
+    next: usize,
+}
+
+impl RingCollector {
+    /// Upper bound on samples taken from one ring per poll, so one noisy
+    /// stream cannot starve the others of collector attention.
+    const MAX_POP: usize = 4096;
+
+    /// One round-robin pass over the rings; pops the first non-empty one
+    /// into `scratch` and returns its machine index.
+    fn sweep(&mut self, scratch: &mut Vec<Sample>) -> Option<usize> {
+        let n = self.rings.len();
+        for k in 0..n {
+            let i = (self.next + k) % n;
+            let depth = self.rings[i].len();
+            if depth == 0 {
+                continue;
+            }
+            self.depth_high_water = self.depth_high_water.max(depth);
+            let got = self.rings[i].pop_into(scratch, Self::MAX_POP);
+            if got > 0 {
+                self.delivered[i] += got as u64;
+                self.next = (i + 1) % n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// True once every producer has dropped and every ring is drained.
+    fn finished(&mut self) -> bool {
+        self.rings.iter_mut().all(|r| r.is_finished())
+    }
+
+    /// Collects the next available samples into `scratch` (cleared
+    /// first), waiting at most `timeout` while every ring is empty. The
+    /// timeout is the collector's watchdog heartbeat, exactly like
+    /// [`crate::channel::Receiver::recv_timeout`].
+    pub fn poll(&mut self, timeout: std::time::Duration, scratch: &mut Vec<Sample>) -> Polled {
+        scratch.clear();
+        if let Some(machine) = self.sweep(scratch) {
+            return Polled::Batch { machine };
+        }
+        if self.finished() {
+            return Polled::Disconnected;
+        }
+        // Park: raise the flag, then re-sweep. A producer that published
+        // before the flag went up is caught by the re-sweep; one that
+        // publishes after sees the flag (its SeqCst fence pairs with this
+        // one) and rings the bell. The timed wait bounds the cost of any
+        // schedule that threads this needle anyway.
+        self.doorbell.parked.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let polled = if let Some(machine) = self.sweep(scratch) {
+            Polled::Batch { machine }
+        } else if self.finished() {
+            Polled::Disconnected
+        } else {
+            let doorbell = Arc::clone(&self.doorbell);
+            let guard = doorbell.lock.lock().unwrap();
+            let (guard, _timed_out) = doorbell.bell.wait_timeout(guard, timeout).unwrap();
+            drop(guard);
+            if let Some(machine) = self.sweep(scratch) {
+                Polled::Batch { machine }
+            } else if self.finished() {
+                Polled::Disconnected
+            } else {
+                Polled::Timeout
+            }
+        };
+        self.doorbell.parked.store(false, Ordering::SeqCst);
+        polled
+    }
+
+    /// A snapshot of the fan-in counters, ledger-compatible with the
+    /// Mutex channel's: per stream, `sent = pushed + dropped`, and once
+    /// drained `sent == delivered + dropped`.
+    pub fn stats(&mut self) -> ChannelStats {
+        ChannelStats {
+            sent: self
+                .rings
+                .iter()
+                .map(|r| r.pushed() + r.dropped())
+                .collect(),
+            dropped: self.rings.iter().map(|r| r.dropped()).collect(),
+            delivered: self.delivered.clone(),
+            depth_high_water: self.depth_high_water,
+            block_waits: self.doorbell.block_waits.load(Ordering::Acquire),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64) -> Sample {
+        Sample {
+            timestamp_ns: t,
+            pid: 1,
+            fixed: [t, 0, 0],
+            pmc: [0; 4],
+            ..Sample::default()
+        }
+    }
+
+    fn batch_of(n: u64) -> Vec<Sample> {
+        (0..n).map(sample).collect()
+    }
+
+    const POLL: std::time::Duration = std::time::Duration::from_millis(50);
+
+    #[test]
+    fn batches_arrive_tagged_with_their_stream() {
+        let (mut tx, mut rx) = ring_fanin(2, 64, Backpressure::Block);
+        tx[1].send(&batch_of(3));
+        let mut scratch = Vec::new();
+        assert_eq!(rx.poll(POLL, &mut scratch), Polled::Batch { machine: 1 });
+        assert_eq!(scratch.len(), 3);
+        assert_eq!(
+            rx.poll(std::time::Duration::from_millis(1), &mut scratch),
+            Polled::Timeout
+        );
+        drop(tx);
+        assert_eq!(rx.poll(POLL, &mut scratch), Polled::Disconnected);
+        let stats = rx.stats();
+        assert_eq!(stats.sent, vec![0, 3]);
+        assert_eq!(stats.delivered, vec![0, 3]);
+        assert_eq!(stats.total_dropped(), 0);
+    }
+
+    #[test]
+    fn round_robin_serves_every_stream() {
+        let (mut tx, mut rx) = ring_fanin(3, 64, Backpressure::Block);
+        for s in tx.iter_mut() {
+            s.send(&batch_of(2));
+        }
+        let mut scratch = Vec::new();
+        let mut served = Vec::new();
+        for _ in 0..3 {
+            match rx.poll(POLL, &mut scratch) {
+                Polled::Batch { machine } => served.push(machine),
+                other => panic!("expected a batch, got {other:?}"),
+            }
+        }
+        served.sort_unstable();
+        assert_eq!(served, vec![0, 1, 2], "no stream starved");
+    }
+
+    #[test]
+    fn drop_policies_charge_the_sender_and_close_the_books() {
+        for policy in [Backpressure::DropOldest, Backpressure::DropNewest] {
+            let (mut tx, mut rx) = ring_fanin(1, 4, policy);
+            tx[0].send(&batch_of(3));
+            tx[0].send(&batch_of(4)); // 1 slot free: 3 samples overflow
+            drop(tx);
+            let mut scratch = Vec::new();
+            let mut delivered = 0;
+            loop {
+                match rx.poll(POLL, &mut scratch) {
+                    Polled::Batch { .. } => delivered += scratch.len() as u64,
+                    Polled::Timeout => continue,
+                    Polled::Disconnected => break,
+                }
+            }
+            let stats = rx.stats();
+            assert_eq!(stats.sent, vec![7], "{policy:?}");
+            assert_eq!(stats.dropped, vec![3], "{policy:?}");
+            assert_eq!(stats.delivered, vec![delivered], "{policy:?}");
+            assert_eq!(stats.sent[0], stats.delivered[0] + stats.dropped[0]);
+        }
+    }
+
+    #[test]
+    fn block_policy_is_lossless_across_threads() {
+        // Tiny rings force producers through the blocking path while the
+        // collector drains concurrently.
+        let (tx, mut rx) = ring_fanin(4, 8, Backpressure::Block);
+        let handles: Vec<_> = tx
+            .into_iter()
+            .map(|mut sender| {
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        sender.send(&batch_of(1 + i % 5));
+                    }
+                })
+            })
+            .collect();
+        let mut scratch = Vec::new();
+        let mut received = 0u64;
+        loop {
+            match rx.poll(POLL, &mut scratch) {
+                Polled::Batch { .. } => received += scratch.len() as u64,
+                Polled::Timeout => continue,
+                Polled::Disconnected => break,
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = rx.stats();
+        assert_eq!(stats.total_dropped(), 0);
+        assert_eq!(received, stats.total_sent());
+        assert_eq!(stats.delivered, stats.sent);
+        assert!(stats.block_waits > 0, "tiny rings must have blocked");
+    }
+
+    #[test]
+    fn parked_collector_wakes_on_late_send() {
+        let (mut tx, mut rx) = ring_fanin(1, 64, Backpressure::Block);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx[0].send(&batch_of(1));
+            tx // keep the sender alive past the poll
+        });
+        let mut scratch = Vec::new();
+        // Generous window: the send must wake us well inside it.
+        let got = rx.poll(std::time::Duration::from_secs(5), &mut scratch);
+        assert_eq!(got, Polled::Batch { machine: 0 });
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn per_stream_order_is_preserved() {
+        let (mut tx, mut rx) = ring_fanin(1, 1024, Backpressure::Block);
+        for chunk in 0..10u64 {
+            let batch: Vec<Sample> = (0..7).map(|i| sample(chunk * 7 + i)).collect();
+            tx[0].send(&batch);
+        }
+        drop(tx);
+        let mut scratch = Vec::new();
+        let mut all = Vec::new();
+        loop {
+            match rx.poll(POLL, &mut scratch) {
+                Polled::Batch { .. } => all.extend(scratch.iter().map(|s| s.timestamp_ns)),
+                Polled::Timeout => continue,
+                Polled::Disconnected => break,
+            }
+        }
+        let expect: Vec<u64> = (0..70).collect();
+        assert_eq!(all, expect);
+    }
+}

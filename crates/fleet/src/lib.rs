@@ -32,6 +32,7 @@
 pub mod channel;
 pub mod clock;
 pub mod detect;
+pub mod ingest;
 pub mod metrics;
 pub mod runner;
 pub mod store;
@@ -40,6 +41,7 @@ pub mod watchdog;
 pub use channel::{bounded, Backpressure, Batch, ChannelStats, Receiver, RecvTimeout, Sender};
 pub use clock::{Clock, MonotonicClock, TickClock};
 pub use detect::{scan_fleet, verdict_table, AnomalyConfig, FleetAnomalyReport, MachineVerdict};
+pub use ingest::{ring_fanin, Polled, RingCollector, RingSender, Transport};
 pub use metrics::{FleetMetrics, LatencyHistogram};
 pub use runner::{
     FleetConfig, FleetError, FleetOutcome, FleetRunner, MachineReport, MachineSpec, WorkloadFactory,

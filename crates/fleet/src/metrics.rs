@@ -119,7 +119,9 @@ impl FleetMetrics {
         self.stream_resumes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Raises the recorded channel-depth high-water mark to `depth`.
+    /// Raises the recorded fan-in depth high-water mark to `depth`.
+    /// The unit depends on the transport: batches for the Mutex
+    /// channel, samples for the SPSC rings (which queue samples).
     pub fn observe_depth_hwm(&self, depth: u64) {
         self.channel_depth_hwm.fetch_max(depth, Ordering::Relaxed);
     }
@@ -191,7 +193,9 @@ impl FleetMetrics {
         ]);
         t.row_owned(vec![
             "channel depth high-water".into(),
-            format!("{} batches", self.channel_depth_hwm()),
+            // Unit depends on the transport (batches for the Mutex
+            // channel, samples for the rings), so render the bare count.
+            self.channel_depth_hwm().to_string(),
         ]);
         t.row_owned(vec![
             "stream stalls".into(),

@@ -3,7 +3,9 @@
 //! [`FleetRunner`] spins one OS thread per [`MachineSpec`]. Each thread
 //! builds its own [`ksim::Machine`] from the spec's seed, runs the
 //! workload under a K-LEB [`kleb::Monitor`], and streams every drained
-//! batch into the shared bounded channel through the controller's
+//! batch into the configured fan-in — one lock-free SPSC ring per
+//! machine by default ([`crate::ingest`]), or the shared bounded
+//! channel as the reference path — through the controller's
 //! [`kleb::SampleSink`] hook. The calling thread is the collector: it
 //! drains batches into the [`FleetStore`] and updates [`FleetMetrics`].
 //!
@@ -29,6 +31,7 @@ use pmu::{EventCounts, HwEvent};
 
 use crate::channel::{bounded, Backpressure, ChannelStats, RecvTimeout, Sender};
 use crate::clock::{Clock, MonotonicClock};
+use crate::ingest::{ring_fanin, Polled, RingCollector, RingSender, Transport};
 use crate::metrics::FleetMetrics;
 use crate::store::FleetStore;
 use crate::watchdog::{StreamWatchdog, WatchdogEvent, WatchdogReport};
@@ -87,8 +90,15 @@ pub struct FleetConfig {
     pub period: Duration,
     /// Module cost tuning.
     pub tuning: KlebTuning,
-    /// Channel capacity, in batches.
+    /// Which fan-in carries batches to the collector: lock-free SPSC
+    /// rings (default) or the reference Mutex channel. The two are
+    /// digest-identical for seeded runs; see [`crate::ingest`].
+    pub transport: Transport,
+    /// Channel capacity, in batches ([`Transport::MutexChannel`] only).
     pub channel_capacity: usize,
+    /// Per-stream ring capacity, in samples ([`Transport::SpscRing`]
+    /// only; rounded up to a power of two).
+    pub ring_capacity: usize,
     /// What a full channel does.
     pub backpressure: Backpressure,
     /// Per-shard point capacity of the store.
@@ -124,7 +134,9 @@ impl FleetConfig {
             events: events.to_vec(),
             period,
             tuning: KlebTuning::default(),
+            transport: Transport::default(),
             channel_capacity: 64,
+            ring_capacity: 64 * 1024,
             backpressure: Backpressure::Block,
             shard_capacity: 64 * 1024,
             machine_config: MachineConfig::i7_920,
@@ -147,9 +159,21 @@ impl FleetConfig {
         self
     }
 
-    /// Overrides the channel capacity (batches).
+    /// Overrides the fan-in transport.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Overrides the channel capacity (batches; Mutex transport).
     pub fn channel_capacity(mut self, batches: usize) -> Self {
         self.channel_capacity = batches;
+        self
+    }
+
+    /// Overrides the per-stream ring capacity (samples; ring transport).
+    pub fn ring_capacity(mut self, samples: usize) -> Self {
+        self.ring_capacity = samples;
         self
     }
 
@@ -327,15 +351,66 @@ impl FleetOutcome {
     }
 }
 
-/// Streams one monitor's drained batches into the fleet channel.
+/// One stream's sending end, whichever transport is configured.
+#[derive(Debug)]
+enum StreamTx {
+    Mutex(Sender),
+    Ring(RingSender),
+}
+
+impl StreamTx {
+    fn send(&mut self, samples: &[Sample]) {
+        match self {
+            StreamTx::Mutex(tx) => tx.send(samples.to_vec()),
+            StreamTx::Ring(tx) => tx.send(samples),
+        }
+    }
+}
+
+/// The collector's receiving end, whichever transport is configured.
+#[derive(Debug)]
+enum FanIn {
+    Mutex(crate::channel::Receiver),
+    Ring(RingCollector),
+}
+
+impl FanIn {
+    /// Unified poll: on [`Polled::Batch`], `scratch` holds the samples.
+    /// The ring path fills the caller's buffer directly; the Mutex path
+    /// moves the received batch's allocation into it.
+    fn poll(&mut self, timeout: std::time::Duration, scratch: &mut Vec<Sample>) -> Polled {
+        match self {
+            FanIn::Mutex(rx) => match rx.recv_timeout(timeout) {
+                RecvTimeout::Batch(batch) => {
+                    *scratch = batch.samples;
+                    Polled::Batch {
+                        machine: batch.machine,
+                    }
+                }
+                RecvTimeout::Timeout => Polled::Timeout,
+                RecvTimeout::Disconnected => Polled::Disconnected,
+            },
+            FanIn::Ring(rx) => rx.poll(timeout, scratch),
+        }
+    }
+
+    fn stats(&mut self) -> ChannelStats {
+        match self {
+            FanIn::Mutex(rx) => rx.stats(),
+            FanIn::Ring(rx) => rx.stats(),
+        }
+    }
+}
+
+/// Streams one monitor's drained batches into the fleet fan-in.
 #[derive(Debug)]
 struct ChannelSink {
-    tx: Sender,
+    tx: StreamTx,
 }
 
 impl SampleSink for ChannelSink {
     fn on_batch(&mut self, samples: &[Sample]) {
-        self.tx.send(samples.to_vec());
+        self.tx.send(samples);
     }
 }
 
@@ -349,6 +424,29 @@ impl FleetRunner {
     /// A runner for `config`.
     pub fn new(config: FleetConfig) -> Self {
         Self { config }
+    }
+
+    /// Builds the configured fan-in for `n` streams: one sending end per
+    /// stream (stream `i` = spec `i`) plus the collector end.
+    fn make_fanin(&self, n: usize) -> (Vec<StreamTx>, FanIn) {
+        match self.config.transport {
+            Transport::MutexChannel => {
+                let (senders, receiver) =
+                    bounded(n, self.config.channel_capacity, self.config.backpressure);
+                (
+                    senders.into_iter().map(StreamTx::Mutex).collect(),
+                    FanIn::Mutex(receiver),
+                )
+            }
+            Transport::SpscRing => {
+                let (senders, collector) =
+                    ring_fanin(n, self.config.ring_capacity, self.config.backpressure);
+                (
+                    senders.into_iter().map(StreamTx::Ring).collect(),
+                    FanIn::Ring(collector),
+                )
+            }
+        }
     }
 
     /// Runs every spec to completion, collecting samples concurrently.
@@ -375,8 +473,7 @@ impl FleetRunner {
                 });
             }
         }
-        let (mut senders, receiver) =
-            bounded(n, self.config.channel_capacity, self.config.backpressure);
+        let (mut senders, receiver) = self.make_fanin(n);
         let mut handles = Vec::with_capacity(n);
         // Sender i goes to spec i: stream indices equal spec order.
         let mut senders_iter = senders.drain(..);
@@ -468,8 +565,7 @@ impl FleetRunner {
     pub fn replay(&self, streams: Vec<RecoveredStream>) -> Result<FleetOutcome, FleetError> {
         assert!(!streams.is_empty(), "replay needs at least one stream");
         let n = streams.len();
-        let (mut senders, receiver) =
-            bounded(n, self.config.channel_capacity, self.config.backpressure);
+        let (mut senders, receiver) = self.make_fanin(n);
         let mut handles = Vec::with_capacity(n);
         let mut senders_iter = senders.drain(..);
         for stream in streams {
@@ -496,7 +592,7 @@ impl FleetRunner {
     fn collect_and_join(
         &self,
         n: usize,
-        receiver: crate::channel::Receiver,
+        mut receiver: FanIn,
         handles: Vec<(
             String,
             std::thread::JoinHandle<Result<MachineReport, String>>,
@@ -517,25 +613,26 @@ impl FleetRunner {
             started_ns,
         );
         let poll = (self.config.stall_timeout / 4).max(std::time::Duration::from_millis(1));
+        // One scratch buffer for the whole run: the ring transport fills
+        // it in place, so the steady state allocates nothing per batch.
+        let mut scratch: Vec<Sample> = Vec::new();
         loop {
-            match receiver.recv_timeout(poll) {
-                RecvTimeout::Batch(batch) => {
+            match receiver.poll(poll, &mut scratch) {
+                Polled::Batch { machine } => {
                     let t0_ns = clock.now_ns();
-                    let (_, rejected) = store.ingest(batch.machine, &batch.samples);
+                    let (_, rejected) = store.ingest(machine, &scratch);
                     let t1_ns = clock.now_ns();
-                    metrics.record_batch(batch.samples.len() as u64, t1_ns.saturating_sub(t0_ns));
+                    metrics.record_batch(scratch.len() as u64, t1_ns.saturating_sub(t0_ns));
                     if rejected > 0 {
                         metrics.add_rejected(rejected);
                     }
-                    if let Some(WatchdogEvent::Resumed { .. }) =
-                        watchdog.observe(batch.machine, t1_ns)
-                    {
+                    if let Some(WatchdogEvent::Resumed { .. }) = watchdog.observe(machine, t1_ns) {
                         metrics.add_resume();
                     }
-                    if batch.samples.iter().any(|s| s.final_sample) {
+                    if scratch.iter().any(|s| s.final_sample) {
                         // The stream's last record is drained: it may go
                         // silent forever without that being a stall.
-                        watchdog.mark_done(batch.machine);
+                        watchdog.mark_done(machine);
                     }
                     for event in watchdog.scan(t1_ns) {
                         if let WatchdogEvent::Stalled { .. } = event {
@@ -543,14 +640,14 @@ impl FleetRunner {
                         }
                     }
                 }
-                RecvTimeout::Timeout => {
+                Polled::Timeout => {
                     for event in watchdog.scan(clock.now_ns()) {
                         if let WatchdogEvent::Stalled { .. } = event {
                             metrics.add_stall();
                         }
                     }
                 }
-                RecvTimeout::Disconnected => break,
+                Polled::Disconnected => break,
             }
         }
         let elapsed = std::time::Duration::from_nanos(clock.now_ns().saturating_sub(started_ns));
@@ -754,6 +851,67 @@ mod tests {
                 report.label
             );
         }
+    }
+
+    #[test]
+    fn transports_are_digest_identical_on_clean_runs() {
+        let run = |t: Transport| {
+            FleetRunner::new(quick_config().transport(t))
+                .run((0..3).map(spec).collect())
+                .unwrap()
+        };
+        let ring = run(Transport::SpscRing);
+        let mutex = run(Transport::MutexChannel);
+        assert_eq!(
+            ring.digest(),
+            mutex.digest(),
+            "the ring fan-in must be observationally pure"
+        );
+    }
+
+    #[test]
+    fn transports_are_digest_identical_under_chaos() {
+        // Ring pressure exercises drops, retries, and the recovery
+        // ledger inside each machine; the fan-in swap must not leak into
+        // any of it.
+        let run = |t: Transport| {
+            FleetRunner::new(
+                quick_config()
+                    .transport(t)
+                    .faults(ksim::FaultPlan::ring_pressure(0.4)),
+            )
+            .run((0..3).map(spec).collect())
+            .unwrap()
+        };
+        let ring = run(Transport::SpscRing);
+        let mutex = run(Transport::MutexChannel);
+        assert!(ring
+            .machines
+            .iter()
+            .any(|m| m.outcome.status.samples_dropped > 0));
+        assert_eq!(ring.digest(), mutex.digest());
+    }
+
+    #[test]
+    fn replay_is_digest_identical_across_transports() {
+        // Record once (ring transport), then replay through *both*
+        // fan-ins: all three digests must agree.
+        let dir = std::env::temp_dir().join(format!("fleet-xport-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = quick_config()
+            .faults(ksim::FaultPlan::ring_pressure(0.4))
+            .persist(&dir);
+        let live = FleetRunner::new(config.clone())
+            .run((0..3).map(spec).collect())
+            .unwrap();
+        for transport in [Transport::SpscRing, Transport::MutexChannel] {
+            let replayer = ktrace::TraceReplayer::load_dir(&dir).unwrap();
+            let replayed = FleetRunner::new(config.clone().transport(transport))
+                .replay(replayer.streams)
+                .unwrap();
+            assert_eq!(live.digest(), replayed.digest(), "{transport:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! the oldest point is evicted and counted — the store bounds memory the
 //! way K-LEB's kernel ring bounds its buffer, but visibly.
 //!
+//! Windowed aggregation is incremental, not a scan: each shard keeps a
+//! prefix-sum array parallel to its ring (maintained O(1) per append,
+//! eviction included) and exploits per-shard timestamp monotonicity to
+//! binary-search window bounds, so `window_sum` / `window_rate` /
+//! `window_mpki` are O(log n) in the shard size.
+//!
 //! Invariants (property-tested in `tests/store_props.rs`):
 //! - below capacity, every accepted sample is retained in full;
 //! - per-shard timestamps are non-decreasing — out-of-order samples are
@@ -70,7 +76,47 @@ struct Shard {
     // Ring as (start, Vec) would complicate equality; a VecDeque keeps
     // append O(1) and iteration in time order.
     ring: std::collections::VecDeque<Point>,
+    /// Prefix sums, parallel to `ring`: `cum[i]` is the wrapping sum of
+    /// every delta ever appended to this shard up to and including
+    /// `ring[i]` — eviction pops the front of both without touching the
+    /// survivors, keeping appends O(1). Any window sum is then one
+    /// subtraction: `prefix(hi) - prefix(lo)`.
+    cum: std::collections::VecDeque<u64>,
+    /// The prefix sum just before `ring[0]`: the wrapping sum of every
+    /// evicted delta.
+    cum_base: u64,
     evicted: u64,
+}
+
+impl Shard {
+    /// The half-open index range of points inside `window`.
+    ///
+    /// Per-shard timestamps are non-decreasing (out-of-order samples are
+    /// rejected whole at ingest), so both bounds are binary searches:
+    /// O(log n) where the old linear filter was O(n).
+    fn bounds(&self, window: Window) -> (usize, usize) {
+        let lo = self
+            .ring
+            .partition_point(|p| p.timestamp_ns < window.start_ns);
+        let hi = self
+            .ring
+            .partition_point(|p| p.timestamp_ns < window.end_ns);
+        (lo, hi)
+    }
+
+    /// Wrapping sum of every delta ever appended before index `i`.
+    fn prefix(&self, i: usize) -> u64 {
+        if i == 0 {
+            self.cum_base
+        } else {
+            self.cum[i - 1]
+        }
+    }
+
+    /// Sum of `ring[lo..hi]` deltas, O(1) from the prefix array.
+    fn range_sum(&self, lo: usize, hi: usize) -> u64 {
+        self.prefix(hi).wrapping_sub(self.prefix(lo))
+    }
 }
 
 /// Per-store counter totals.
@@ -195,9 +241,16 @@ impl FleetStore {
         let shard = &mut self.shards[idx];
         if shard.ring.len() == cap {
             shard.ring.pop_front();
+            // The evicted point's cumulative becomes the new base, so
+            // surviving prefix sums keep their absolute values.
+            if let Some(front) = shard.cum.pop_front() {
+                shard.cum_base = front;
+            }
             shard.evicted += 1;
             self.stats.evicted_points += 1;
         }
+        let last = shard.cum.back().copied().unwrap_or(shard.cum_base);
+        shard.cum.push_back(last.wrapping_add(delta));
         shard.ring.push_back(Point {
             timestamp_ns,
             delta,
@@ -209,15 +262,18 @@ impl FleetStore {
         self.shards[self.shard_index(machine, lane)].ring.iter()
     }
 
-    /// Points of one shard restricted to a window, oldest first.
+    /// Points of one shard restricted to a window, oldest first. The
+    /// bounds come from a binary search, not a scan: the iterator starts
+    /// at the window's first point.
     pub fn window_points(
         &self,
         machine: usize,
         lane: Lane,
         window: Window,
     ) -> impl Iterator<Item = &Point> {
-        self.points(machine, lane)
-            .filter(move |p| window.contains(p.timestamp_ns))
+        let shard = &self.shards[self.shard_index(machine, lane)];
+        let (lo, hi) = shard.bounds(window);
+        shard.ring.range(lo..hi)
     }
 
     /// Points evicted from one shard since creation.
@@ -230,28 +286,38 @@ impl FleetStore {
         self.stats
     }
 
-    /// Sum of deltas in a window of one shard.
+    /// Sum of deltas in a window of one shard: two binary searches and
+    /// one subtraction of prefix sums — O(log n), never a scan.
     pub fn window_sum(&self, machine: usize, lane: Lane, window: Window) -> u64 {
-        self.window_points(machine, lane, window)
-            .map(|p| p.delta)
-            .sum()
+        let shard = &self.shards[self.shard_index(machine, lane)];
+        let (lo, hi) = shard.bounds(window);
+        shard.range_sum(lo, hi)
     }
 
     /// Events per second over a window of one shard, from the covered
     /// points' own time span. Zero with fewer than two points.
+    ///
+    /// O(log n): the span comes from the window's two endpoint points,
+    /// the numerator from the prefix sums — no intermediate collection.
     pub fn window_rate(&self, machine: usize, lane: Lane, window: Window) -> f64 {
-        let pts: Vec<&Point> = self.window_points(machine, lane, window).collect();
-        match (pts.first(), pts.last()) {
-            (Some(first), Some(last)) if last.timestamp_ns > first.timestamp_ns => {
-                let span_s = (last.timestamp_ns - first.timestamp_ns) as f64 / 1e9;
-                pts.iter().map(|p| p.delta).sum::<u64>() as f64 / span_s
-            }
-            _ => 0.0,
+        let shard = &self.shards[self.shard_index(machine, lane)];
+        let (lo, hi) = shard.bounds(window);
+        if hi - lo < 2 {
+            return 0.0;
         }
+        let (first, last) = (&shard.ring[lo], &shard.ring[hi - 1]);
+        if last.timestamp_ns <= first.timestamp_ns {
+            return 0.0;
+        }
+        let span_s = (last.timestamp_ns - first.timestamp_ns) as f64 / 1e9;
+        shard.range_sum(lo, hi) as f64 / span_s
     }
 
     /// The `p`-th percentile of per-sample deltas in a window of one
     /// shard (via `analysis::stats`). Zero on an empty window.
+    ///
+    /// Collects the window's deltas once, straight into the `f64` buffer
+    /// the percentile needs — no intermediate `Vec<&Point>`.
     pub fn window_percentile(&self, machine: usize, lane: Lane, window: Window, p: f64) -> f64 {
         let deltas: Vec<f64> = self
             .window_points(machine, lane, window)
@@ -279,14 +345,24 @@ impl FleetStore {
             .sum()
     }
 
-    /// Per-sample MPKI series for one machine, sample order — the fan-in
-    /// detector's input. Pairs `miss_lane` with the instructions lane
-    /// point-by-point (both lanes retain the same timestamps).
-    pub fn mpki_series(&self, machine: usize, miss_lane: Lane) -> Vec<f64> {
+    /// Retained points in one shard.
+    pub fn lane_len(&self, machine: usize, lane: Lane) -> usize {
+        self.shards[self.shard_index(machine, lane)].ring.len()
+    }
+
+    /// Per-sample MPKI stream for one machine, sample order — the
+    /// fan-in detector's input. Pairs `miss_lane` with the instructions
+    /// lane point-by-point (both lanes retain the same timestamps).
+    /// Lazy: feeds a detector scan without materializing the series.
+    pub fn mpki_iter(&self, machine: usize, miss_lane: Lane) -> impl Iterator<Item = f64> + '_ {
         self.points(machine, miss_lane)
             .zip(self.points(machine, Lane::INSTRUCTIONS))
             .map(|(miss, instr)| analysis::mpki(miss.delta, instr.delta))
-            .collect()
+    }
+
+    /// [`FleetStore::mpki_iter`], collected.
+    pub fn mpki_series(&self, machine: usize, miss_lane: Lane) -> Vec<f64> {
+        self.mpki_iter(machine, miss_lane).collect()
     }
 
     /// Every retained point of one machine, lane-major — bit-exact
@@ -405,6 +481,64 @@ mod tests {
             b.machine_snapshot(1),
             "other machine untouched"
         );
+    }
+
+    #[test]
+    fn window_sums_survive_eviction() {
+        // Prefix sums must stay correct as the ring laps its capacity.
+        let mut s = FleetStore::new(1, vec![], 4);
+        for i in 0..12u64 {
+            s.ingest(0, &[sample(i * 100, i + 1, 0)]);
+            // Every window agrees with a naive filter at every step.
+            for (start, end) in [(0, u64::MAX), (300, 900), (i * 100, u64::MAX), (500, 500)] {
+                let w = Window {
+                    start_ns: start,
+                    end_ns: end,
+                };
+                let naive: u64 = s
+                    .points(0, Lane::INSTRUCTIONS)
+                    .filter(|p| w.contains(p.timestamp_ns))
+                    .map(|p| p.delta)
+                    .sum();
+                assert_eq!(
+                    s.window_sum(0, Lane::INSTRUCTIONS, w),
+                    naive,
+                    "i={i} w={w:?}"
+                );
+            }
+        }
+        assert_eq!(s.evicted(0, Lane::INSTRUCTIONS), 8);
+    }
+
+    #[test]
+    fn window_rate_matches_endpoint_arithmetic() {
+        let mut s = store();
+        s.ingest(
+            0,
+            &[
+                sample(0, 10, 0),
+                sample(1_000_000_000, 30, 0),
+                sample(2_000_000_000, 60, 0),
+            ],
+        );
+        // 100 events over a 2-second span.
+        let rate = s.window_rate(0, Lane::INSTRUCTIONS, Window::all());
+        assert_eq!(rate, 50.0);
+        // A one-point window has no span.
+        let w = Window {
+            start_ns: 0,
+            end_ns: 1,
+        };
+        assert_eq!(s.window_rate(0, Lane::INSTRUCTIONS, w), 0.0);
+    }
+
+    #[test]
+    fn lane_len_counts_retained_points() {
+        let mut s = FleetStore::new(1, vec![], 4);
+        assert_eq!(s.lane_len(0, Lane::INSTRUCTIONS), 0);
+        let batch: Vec<Sample> = (0..6).map(|i| sample(i * 100, 1, 0)).collect();
+        s.ingest(0, &batch);
+        assert_eq!(s.lane_len(0, Lane::INSTRUCTIONS), 4, "capped at capacity");
     }
 
     #[test]

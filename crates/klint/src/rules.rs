@@ -2,9 +2,9 @@
 //!
 //! | Rule | Invariant | Scope |
 //! |------|-----------|-------|
-//! | `D1` | no wall-clock / unseeded RNG (`SystemTime::now`, `Instant::now`, argless `thread_rng()`, `from_entropy()`, `rand::random()`) — simulated time comes from `ksim::time`, randomness from seeded `StdRng` | `pmu`, `ksim`, `memsim`, `kleb`, `workloads`, `fleet`, `ktrace` |
-//! | `D2` | no `unwrap()` / `expect()` in library code — use typed errors | `pmu`, `ksim`, `kleb`, `ktrace` (non-test) |
-//! | `D3` | no `Ordering::Relaxed` on atomics that gate cross-thread data visibility | `fleet` (allowlist: `metrics.rs`, pure counters) |
+//! | `D1` | no wall-clock / unseeded RNG (`SystemTime::now`, `Instant::now`, argless `thread_rng()`, `from_entropy()`, `rand::random()`) — simulated time comes from `ksim::time`, randomness from seeded `StdRng` | `pmu`, `ksim`, `memsim`, `kleb`, `workloads`, `fleet`, `ktrace`, `kchan` |
+//! | `D2` | no `unwrap()` / `expect()` in library code — use typed errors | `pmu`, `ksim`, `kleb`, `ktrace`, `kchan` (non-test) |
+//! | `D3` | no `Ordering::Relaxed` on atomics that gate cross-thread data visibility | `fleet`, `kchan` (allowlists: `fleet/src/metrics.rs` pure counters; `kchan/src/ring.rs`, the documented ordering-protocol module) |
 //! | `M1` | `wrmsr`/`rdmsr` call sites name a `pmu::msr` constant, never a bare integer MSR address | all crates (non-test) |
 //!
 //! `D2` and `M1` skip `#[cfg(test)]` modules and `tests/` directories:
@@ -59,10 +59,15 @@ impl Rule {
         match self {
             Rule::D1 => matches!(
                 crate_name,
-                Some("pmu" | "ksim" | "memsim" | "kleb" | "workloads" | "fleet" | "ktrace")
+                Some(
+                    "pmu" | "ksim" | "memsim" | "kleb" | "workloads" | "fleet" | "ktrace" | "kchan"
+                )
             ),
-            Rule::D2 => matches!(crate_name, Some("pmu" | "ksim" | "kleb" | "ktrace")),
-            Rule::D3 => matches!(crate_name, Some("fleet")),
+            Rule::D2 => matches!(
+                crate_name,
+                Some("pmu" | "ksim" | "kleb" | "ktrace" | "kchan")
+            ),
+            Rule::D3 => matches!(crate_name, Some("fleet" | "kchan")),
             Rule::M1 => true,
         }
     }
@@ -76,10 +81,15 @@ impl Rule {
     /// Per-file allowlist baked into the rule definition.
     pub fn allows_file(self, rel_path: &str) -> bool {
         match self {
-            // Pure monotonic counters (sample/violation/latency tallies):
-            // Relaxed is correct there because no thread reads them to
-            // decide whether *other* data is visible.
-            Rule::D3 => rel_path == "crates/fleet/src/metrics.rs",
+            // metrics.rs: pure monotonic counters (sample/violation/
+            // latency tallies) — Relaxed is correct there because no
+            // thread reads them to decide whether *other* data is
+            // visible. ring.rs: the one module allowed to choose atomic
+            // orderings for data publication, with the full
+            // release/acquire argument documented at the top of the file.
+            Rule::D3 => {
+                rel_path == "crates/fleet/src/metrics.rs" || rel_path == "crates/kchan/src/ring.rs"
+            }
             _ => false,
         }
     }

@@ -57,6 +57,24 @@ fn d1_and_d2_cover_ktrace() {
 }
 
 #[test]
+fn d1_d2_and_d3_cover_kchan() {
+    // The ring transport is part of the deterministic core: wall-clock
+    // reads, panicking paths, and ad-hoc Relaxed orderings are all in
+    // scope.
+    let wall_clock = "fn f() { let _ = Instant::now(); }";
+    assert_eq!(fired("crates/kchan/src/x.rs", wall_clock), vec![Rule::D1]);
+    let unwrap = "fn f(v: Option<u32>) -> u32 { v.unwrap() }";
+    assert_eq!(fired("crates/kchan/src/x.rs", unwrap), vec![Rule::D2]);
+    // D2 still skips kchan's tests/ directory.
+    assert_eq!(fired("crates/kchan/tests/x.rs", unwrap), vec![]);
+    let relaxed = "fn f(x: &AtomicU64) { x.store(1, Ordering::Relaxed); }";
+    assert_eq!(fired("crates/kchan/src/x.rs", relaxed), vec![Rule::D3]);
+    // ring.rs is the documented ordering-protocol module: orderings are
+    // its business (mirroring the fleet metrics allowlist).
+    assert_eq!(fired("crates/kchan/src/ring.rs", relaxed), vec![]);
+}
+
+#[test]
 fn d1_applies_to_test_code_too() {
     let src = "
 #[cfg(test)]

@@ -46,17 +46,18 @@ fn set_lane_value(s: &mut Sample, lane: usize, v: u64) {
 }
 
 fn put_sparse_flags(out: &mut Vec<u8>, samples: &[Sample], flag: impl Fn(&Sample) -> bool) {
-    let indices: Vec<u64> = samples
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| flag(s))
-        .map(|(i, _)| i as u64)
-        .collect();
-    put_u64(out, indices.len() as u64);
+    // Two passes — count, then emit — so the hot path never materializes
+    // an index list. Flags are rare (that is why the encoding is sparse),
+    // so the second pass is nearly free.
+    let n = samples.iter().filter(|s| flag(s)).count();
+    put_u64(out, n as u64);
     let mut prev = 0u64;
-    for (n, &i) in indices.iter().enumerate() {
+    let mut first = true;
+    for (i, _) in samples.iter().enumerate().filter(|(_, s)| flag(s)) {
+        let i = i as u64;
         // First index absolute, the rest as gaps (always ≥ 1).
-        put_u64(out, if n == 0 { i } else { i - prev });
+        put_u64(out, if first { i } else { i - prev });
+        first = false;
         prev = i;
     }
 }
@@ -92,40 +93,55 @@ pub struct EncodedBlock {
     pub max_ts: u64,
 }
 
-/// Encodes `samples` (non-empty) with the given drain-batch lengths
-/// (`batch_lens` sums to `samples.len()`; the writer maintains this).
-pub fn encode_block(samples: &[Sample], batch_lens: &[u64]) -> EncodedBlock {
-    let mut payload = Vec::with_capacity(samples.len() * 10);
+/// Per-block metadata [`encode_block_into`] returns beside the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Bit `i` ⇔ lane `i` carries a nonzero value somewhere in the block.
+    pub lane_mask: u16,
+    /// Smallest timestamp in the block.
+    pub min_ts: u64,
+    /// Largest timestamp in the block.
+    pub max_ts: u64,
+}
 
-    put_u64(&mut payload, batch_lens.len() as u64);
+/// Encodes `samples` (non-empty) with the given drain-batch lengths
+/// (`batch_lens` sums to `samples.len()`; the writer maintains this)
+/// into `payload` (cleared first), reusing its allocation — a streaming
+/// writer flushing block after block allocates exactly once.
+pub fn encode_block_into(
+    samples: &[Sample],
+    batch_lens: &[u64],
+    payload: &mut Vec<u8>,
+) -> BlockSummary {
+    payload.clear();
+    payload.reserve(samples.len() * 10);
+
+    put_u64(payload, batch_lens.len() as u64);
     for &len in batch_lens {
-        put_u64(&mut payload, len);
+        put_u64(payload, len);
     }
 
     // Timestamps: delta-of-delta.
-    put_u64(&mut payload, samples[0].timestamp_ns);
+    put_u64(payload, samples[0].timestamp_ns);
     let mut prev_delta = 0i64;
     for w in samples.windows(2) {
         let d = delta(w[0].timestamp_ns, w[1].timestamp_ns);
-        put_u64(&mut payload, zigzag(d.wrapping_sub(prev_delta)));
+        put_u64(payload, zigzag(d.wrapping_sub(prev_delta)));
         prev_delta = d;
     }
 
     // Sequence numbers and pids: plain value deltas.
-    put_u64(&mut payload, samples[0].seq);
+    put_u64(payload, samples[0].seq);
     for w in samples.windows(2) {
-        put_u64(&mut payload, zigzag(delta(w[0].seq, w[1].seq)));
+        put_u64(payload, zigzag(delta(w[0].seq, w[1].seq)));
     }
-    put_u64(&mut payload, samples[0].pid as u64);
+    put_u64(payload, samples[0].pid as u64);
     for w in samples.windows(2) {
-        put_u64(
-            &mut payload,
-            zigzag(delta(w[0].pid as u64, w[1].pid as u64)),
-        );
+        put_u64(payload, zigzag(delta(w[0].pid as u64, w[1].pid as u64)));
     }
 
-    put_sparse_flags(&mut payload, samples, |s| s.final_sample);
-    put_sparse_flags(&mut payload, samples, |s| s.gap);
+    put_sparse_flags(payload, samples, |s| s.final_sample);
+    put_sparse_flags(payload, samples, |s| s.gap);
 
     let mut lane_mask = 0u16;
     for lane in 0..NUM_LANES {
@@ -135,26 +151,35 @@ pub fn encode_block(samples: &[Sample], batch_lens: &[u64]) -> EncodedBlock {
         }
         if samples.iter().all(|s| lane_value(s, lane) == first) {
             payload.push(TAG_CONSTANT);
-            put_u64(&mut payload, first);
+            put_u64(payload, first);
         } else {
             payload.push(TAG_DELTA);
-            put_u64(&mut payload, first);
+            put_u64(payload, first);
             for w in samples.windows(2) {
                 put_u64(
-                    &mut payload,
+                    payload,
                     zigzag(delta(lane_value(&w[0], lane), lane_value(&w[1], lane))),
                 );
             }
         }
     }
 
-    let min_ts = samples.iter().map(|s| s.timestamp_ns).min().unwrap_or(0);
-    let max_ts = samples.iter().map(|s| s.timestamp_ns).max().unwrap_or(0);
+    BlockSummary {
+        lane_mask,
+        min_ts: samples.iter().map(|s| s.timestamp_ns).min().unwrap_or(0),
+        max_ts: samples.iter().map(|s| s.timestamp_ns).max().unwrap_or(0),
+    }
+}
+
+/// [`encode_block_into`] with a fresh payload allocation per call.
+pub fn encode_block(samples: &[Sample], batch_lens: &[u64]) -> EncodedBlock {
+    let mut payload = Vec::new();
+    let summary = encode_block_into(samples, batch_lens, &mut payload);
     EncodedBlock {
         payload,
-        lane_mask,
-        min_ts,
-        max_ts,
+        lane_mask: summary.lane_mask,
+        min_ts: summary.min_ts,
+        max_ts: summary.max_ts,
     }
 }
 

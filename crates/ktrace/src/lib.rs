@@ -45,7 +45,7 @@ pub mod sink;
 pub mod varint;
 pub mod writer;
 
-pub use codec::{decode_block, encode_block, EncodedBlock};
+pub use codec::{decode_block, encode_block, encode_block_into, BlockSummary, EncodedBlock};
 pub use corrupt::{corrupt, CorruptionLog, CorruptionPlan};
 pub use crc::crc32;
 pub use format::{

@@ -14,7 +14,7 @@
 
 use std::io::Write;
 
-use crate::codec::encode_block;
+use crate::codec::encode_block_into;
 use crate::crc::crc32;
 use crate::format::{BlockHeader, StreamLedger, StreamMeta, TraceError, KIND_LEDGER, KIND_SAMPLES};
 use kleb::Sample;
@@ -29,6 +29,9 @@ pub struct TraceWriter<W: Write> {
     block_target: usize,
     pending: Vec<Sample>,
     pending_batches: Vec<u64>,
+    /// Encode scratch, reused across flushes: after the first block the
+    /// steady-state flush path allocates nothing.
+    payload: Vec<u8>,
     samples_written: u64,
     blocks_written: u64,
     finished: bool,
@@ -47,6 +50,7 @@ impl<W: Write> TraceWriter<W> {
             block_target: DEFAULT_BLOCK_TARGET,
             pending: Vec::new(),
             pending_batches: Vec::new(),
+            payload: Vec::new(),
             samples_written: 0,
             blocks_written: 0,
             finished: false,
@@ -98,19 +102,19 @@ impl<W: Write> TraceWriter<W> {
             return Ok(());
         }
         let first_index = self.samples_written - self.pending.len() as u64;
-        let enc = encode_block(&self.pending, &self.pending_batches);
+        let summary = encode_block_into(&self.pending, &self.pending_batches, &mut self.payload);
         let header = BlockHeader {
             kind: KIND_SAMPLES,
-            lane_mask: enc.lane_mask,
+            lane_mask: summary.lane_mask,
             count: self.pending.len() as u32,
-            payload_len: enc.payload.len() as u32,
+            payload_len: self.payload.len() as u32,
             first_index,
-            min_ts: enc.min_ts,
-            max_ts: enc.max_ts,
-            payload_crc: crc32(&enc.payload),
+            min_ts: summary.min_ts,
+            max_ts: summary.max_ts,
+            payload_crc: crc32(&self.payload),
         };
         self.sink.write_all(&header.encode())?;
-        self.sink.write_all(&enc.payload)?;
+        self.sink.write_all(&self.payload)?;
         self.blocks_written += 1;
         self.pending.clear();
         self.pending_batches.clear();

@@ -10,8 +10,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> klint (determinism + MSR-protocol invariants, baseline: klint.baseline)"
+echo "==> klint (determinism + MSR-protocol + unsafe/atomics invariants, baseline: klint.baseline)"
 cargo run -q -p klint -- --workspace
+mkdir -p target
+cargo run -q -p klint -- --workspace --format json > target/klint-report.json
+echo "    report: target/klint-report.json"
 
 echo "==> cargo build --release"
 cargo build --workspace --release
@@ -29,5 +32,16 @@ cargo run -q --release --example record_replay -- --quick
 
 echo "==> perf-smoke gate (ingest transports: SPSC ring >= 2x Mutex at N=64, drop ledger balanced)"
 cargo run -q --release -p kleb-bench --bin ingest_perf -- --quick
+
+echo "==> kloom gate (exhaustive interleavings: ring protocol, doorbell, ordering mutations)"
+# Separate target dir: --cfg kloom changes every crate's fingerprint, and
+# sharing target/ would force full rebuilds of the normal artifacts above.
+KLOOM_FLAGS="--cfg kloom"
+RUSTFLAGS="$KLOOM_FLAGS" CARGO_TARGET_DIR=target/kloom \
+    cargo test -q -p kloom
+RUSTFLAGS="$KLOOM_FLAGS" CARGO_TARGET_DIR=target/kloom \
+    cargo test -q -p kchan --test kloom_ring
+RUSTFLAGS="$KLOOM_FLAGS" CARGO_TARGET_DIR=target/kloom \
+    cargo test -q -p fleet --test kloom_doorbell
 
 echo "==> OK"

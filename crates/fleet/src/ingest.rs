@@ -35,10 +35,13 @@
 //!   contract under the Drop policies — exact per-stream accounting,
 //!   not a particular surviving set — is unchanged.
 
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 use kleb::Sample;
+
+use crate::ksync::{
+    backoff_sleep, backoff_yield, fence, AtomicBool, AtomicU64, Condvar, Mutex, Ordering,
+};
 
 use crate::channel::{Backpressure, ChannelStats};
 
@@ -60,7 +63,15 @@ pub enum Transport {
 /// empty-looking fleet while the collector is parked.
 #[derive(Debug, Default)]
 struct Doorbell {
-    lock: Mutex<()>,
+    /// Pending-signal bit, owned by the bell's lock. A ring sets it
+    /// under the lock; the collector checks it under the same lock
+    /// *before* waiting and clears it after. This closes the classic
+    /// lost-wakeup window (producer rings between the collector's
+    /// re-sweep and its wait): the wakeup is latched in the bit, so the
+    /// collector skips the wait instead of sleeping through the
+    /// notification. `fleet/tests/kloom_doorbell.rs` proves the
+    /// losslessness by modeling the wait as never timing out.
+    signal: Mutex<bool>,
     bell: Condvar,
     /// True while the collector is inside (or committing to) a wait.
     parked: AtomicBool,
@@ -76,11 +87,10 @@ impl Doorbell {
         // collector's re-sweep sees the samples or we see the flag.
         fence(Ordering::SeqCst);
         if self.parked.load(Ordering::SeqCst) {
-            // Empty critical section: the flag is checked under no lock,
-            // but the collector only waits *after* raising the flag and
-            // re-sweeping, so taking the lock here forces it out of any
-            // in-progress wait.
-            drop(self.lock.lock());
+            // Latch the signal under the lock: a collector already in
+            // wait is notified; one still between its re-sweep and the
+            // wait finds the bit set and skips the wait entirely.
+            *self.signal.lock().unwrap_or_else(|e| e.into_inner()) = true;
             self.bell.notify_all();
         }
     }
@@ -159,9 +169,9 @@ impl RingSender {
                             self.doorbell.ring();
                             fruitless += 1;
                             if fruitless < 64 {
-                                std::thread::yield_now();
+                                backoff_yield();
                             } else {
-                                std::thread::sleep(std::time::Duration::from_micros(50));
+                                backoff_sleep(std::time::Duration::from_micros(50));
                             }
                         } else {
                             fruitless = 0;
@@ -177,6 +187,24 @@ impl RingSender {
                     .mark_dropped((samples.len() - accepted) as u64);
             }
         }
+        self.doorbell.ring();
+    }
+}
+
+impl Drop for RingSender {
+    fn drop(&mut self) {
+        // Publish end-of-stream *before* ringing: `finish()` orders the
+        // done flag ahead of the wakeup, so a parked collector that the
+        // bell rouses is guaranteed to observe the disconnect instead of
+        // re-parking until its watchdog timeout.
+        if std::thread::panicking() {
+            // Unwinding teardown: the inner producer's own drop still
+            // flushes the ledger; skip the doorbell (the watchdog
+            // timeout covers delivery, and under `cfg(kloom)` scheduler
+            // ops are off-limits during a panic).
+            return;
+        }
+        self.producer.finish();
         self.doorbell.ring();
     }
 }
@@ -267,15 +295,40 @@ impl RingCollector {
             Polled::Disconnected
         } else {
             let doorbell = Arc::clone(&self.doorbell);
-            let guard = doorbell.lock.lock().unwrap();
-            let (guard, _timed_out) = doorbell.bell.wait_timeout(guard, timeout).unwrap();
-            drop(guard);
-            if let Some(machine) = self.sweep(scratch) {
-                Polled::Batch { machine }
-            } else if self.finished() {
-                Polled::Disconnected
-            } else {
-                Polled::Timeout
+            loop {
+                let mut guard = doorbell.signal.lock().unwrap_or_else(|e| e.into_inner());
+                let mut timed_out = false;
+                if !*guard {
+                    // No ring latched since the re-sweep: wait for one
+                    // (or the watchdog timeout). A ring that lands from
+                    // here on holds the lock, so it either finds us
+                    // waiting (notify) or latches the bit, which the
+                    // next pass consumes instead of waiting.
+                    let (g, to) = doorbell
+                        .bell
+                        .wait_timeout(guard, timeout)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard = g;
+                    timed_out = to.timed_out();
+                }
+                *guard = false;
+                drop(guard);
+                // The producer latched (or notified) under the signal
+                // lock after its writes, and we reacquired that lock, so
+                // this sweep observes whatever prompted the wakeup.
+                if let Some(machine) = self.sweep(scratch) {
+                    break Polled::Batch { machine };
+                }
+                if self.finished() {
+                    break Polled::Disconnected;
+                }
+                if timed_out {
+                    // Only a genuine timer expiry surfaces as Timeout —
+                    // the caller treats it as the watchdog heartbeat.
+                    break Polled::Timeout;
+                }
+                // Spurious wakeup (a stale latch, or a disconnect ring
+                // from one of several streams): park again.
             }
         };
         self.doorbell.parked.store(false, Ordering::SeqCst);
@@ -300,7 +353,7 @@ impl RingCollector {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(kloom)))]
 mod tests {
     use super::*;
 

@@ -1,0 +1,38 @@
+//! Sync facade for the ingest fan-in: std primitives in normal builds,
+//! kloom shadows under `cfg(kloom)`.
+//!
+//! Same pattern as `kchan::sync` (see `kchan/src/ring.rs` module docs):
+//! `ingest.rs` imports its atomics, `Mutex`/`Condvar`, and spin-backoff
+//! helpers from here instead of `std`, so the doorbell protocol can be
+//! model-checked exhaustively by `fleet/tests/kloom_doorbell.rs` while
+//! normal builds compile to exactly the std types.
+
+#[cfg(not(kloom))]
+pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicU64};
+#[cfg(not(kloom))]
+pub(crate) use std::sync::{Condvar, Mutex};
+
+#[cfg(kloom)]
+pub(crate) use kloom::sync::atomic::{fence, AtomicBool, AtomicU64};
+#[cfg(kloom)]
+pub(crate) use kloom::sync::{Condvar, Mutex};
+
+pub(crate) use std::sync::atomic::Ordering;
+
+/// Spin-loop backoff: `std::thread::yield_now` normally, a kloom yield
+/// (which parks the thread until a peer makes progress) in model builds.
+pub(crate) fn backoff_yield() {
+    #[cfg(not(kloom))]
+    std::thread::yield_now();
+    #[cfg(kloom)]
+    kloom::thread::yield_now();
+}
+
+/// Sleep-based backoff; model time has no duration, so kloom maps it to
+/// a yield.
+pub(crate) fn backoff_sleep(dur: std::time::Duration) {
+    #[cfg(not(kloom))]
+    std::thread::sleep(dur);
+    #[cfg(kloom)]
+    kloom::thread::sleep(dur);
+}

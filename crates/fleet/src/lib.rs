@@ -33,6 +33,7 @@ pub mod channel;
 pub mod clock;
 pub mod detect;
 pub mod ingest;
+pub(crate) mod ksync;
 pub mod metrics;
 pub mod runner;
 pub mod store;

@@ -34,5 +34,10 @@
 //! check, a `memcpy`, and one atomic store.
 
 pub mod ring;
+pub(crate) mod sync;
+
+/// Ordering-weakening knob for kloom mutation tests (model builds only).
+#[cfg(kloom)]
+pub use crate::sync::mutation;
 
 pub use ring::{ring, Consumer, Producer};

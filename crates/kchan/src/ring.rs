@@ -56,11 +56,24 @@
 //! `done` flag is release-stored by the producer's drop after its final
 //! counter flush — an acquire load of `done == true` therefore also
 //! sees the final tail and ledger values.
+//!
+//! # The `#[cfg(kloom)]` facade pattern
+//!
+//! This module never names `std::sync::atomic` or `UnsafeCell` directly;
+//! it imports `AtomicUsize`/`AtomicBool`/`AtomicU64` and the [`Slot`]
+//! cell from [`crate::sync`]. In normal builds those are exactly the std
+//! types (a zero-cost re-export — this hot path compiles to the same
+//! code as before the facade). Under `RUSTFLAGS="--cfg kloom"` they are
+//! `kloom`'s instrumented shadows, and `kchan/tests/kloom_ring.rs` runs
+//! the ring under *every* bounded thread interleaving and weak-memory
+//! value choice: the four rules above stop being prose and become
+//! machine-checked invariants. The four ordering constants are routed
+//! through `proto_ord!` so the mutation tests can weaken one rule at a
+//! time and assert the checker reports it (identity in normal builds).
 
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use crate::sync::{proto_ord, AtomicBool, AtomicU64, AtomicUsize, Ordering, Slot};
 
 /// Pads (and aligns) a value to a 64-byte cache line so neighbouring
 /// fields never false-share.
@@ -70,7 +83,7 @@ struct CachePadded<T>(T);
 
 #[derive(Debug)]
 struct Shared<T> {
-    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    buf: Box<[Slot<T>]>,
     mask: usize,
     /// Consumer-written: next logical index to read.
     head: CachePadded<AtomicUsize>,
@@ -84,11 +97,9 @@ struct Shared<T> {
     done: AtomicBool,
 }
 
-// SAFETY: the producer/consumer split partitions every slot between the
-// two endpoints (ordering rules 1–4 above); `T: Copy + Send` means the
-// values themselves can cross threads and have no drop glue.
-unsafe impl<T: Copy + Send> Send for Shared<T> {}
-unsafe impl<T: Copy + Send> Sync for Shared<T> {}
+// `Shared` is Send + Sync by composition: `Slot` carries the safety
+// argument for the partitioned cells (see `crate::sync`), and the
+// remaining fields are atomics.
 
 /// Creates a ring with room for `capacity` items (rounded up to the next
 /// power of two), returning its two endpoints.
@@ -102,9 +113,7 @@ unsafe impl<T: Copy + Send> Sync for Shared<T> {}
 pub fn ring<T: Copy + Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     assert!(capacity > 0, "ring capacity must be non-zero");
     let capacity = capacity.next_power_of_two();
-    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity)
-        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
-        .collect();
+    let buf: Box<[Slot<T>]> = (0..capacity).map(|_| Slot::uninit()).collect();
     let shared = Arc::new(Shared {
         buf,
         mask: capacity - 1,
@@ -152,7 +161,11 @@ impl<T: Copy + Send> Producer<T> {
     pub fn free(&mut self) -> usize {
         // Ordering rule 4: acquire the head before treating its slots as
         // writable.
-        self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+        self.cached_head = self
+            .shared
+            .head
+            .0
+            .load(proto_ord!(REUSE, Ordering::Acquire));
         self.capacity() - self.tail.wrapping_sub(self.cached_head)
     }
 
@@ -182,11 +195,14 @@ impl<T: Copy + Send> Producer<T> {
             // acquire load of head ordered the consumer's reads of these
             // slots before this write; no other thread writes them (single
             // producer, by construction).
-            unsafe { (*self.shared.buf[slot].get()).write(*item) };
+            unsafe { self.shared.buf[slot].write(*item) };
         }
         self.tail = self.tail.wrapping_add(n);
         // Ordering rule 1: one release store publishes the whole batch.
-        self.shared.tail.0.store(self.tail, Ordering::Release);
+        self.shared
+            .tail
+            .0
+            .store(self.tail, proto_ord!(PUBLISH, Ordering::Release));
         self.pushed += n as u64;
         self.shared.pushed.store(self.pushed, Ordering::Release);
         n
@@ -208,15 +224,24 @@ impl<T: Copy + Send> Producer<T> {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Publishes end-of-stream early: final ledger flush, then the done
+    /// flag; the release store of `done` makes both visible to the
+    /// consumer's acquire load. Idempotent — dropping the producer calls
+    /// it again harmlessly. Callers that must notify a sleeping consumer
+    /// (e.g. the fleet doorbell) use this to order the done flag *before*
+    /// their wakeup signal, which `Drop` alone cannot (a drop body runs
+    /// before its fields' destructors).
+    pub fn finish(&mut self) {
+        self.shared.pushed.store(self.pushed, Ordering::Release);
+        self.shared.dropped.store(self.dropped, Ordering::Release);
+        self.shared.done.store(true, Ordering::Release);
+    }
 }
 
 impl<T: Copy + Send> Drop for Producer<T> {
     fn drop(&mut self) {
-        // Final ledger flush, then the done flag; the release store of
-        // `done` makes both visible to the consumer's acquire load.
-        self.shared.pushed.store(self.pushed, Ordering::Release);
-        self.shared.dropped.store(self.dropped, Ordering::Release);
-        self.shared.done.store(true, Ordering::Release);
+        self.finish();
     }
 }
 
@@ -239,7 +264,11 @@ impl<T: Copy + Send> Consumer<T> {
     /// Items currently queued (refreshes the cached producer index).
     pub fn len(&mut self) -> usize {
         // Ordering rule 2: acquire the tail before trusting its slots.
-        self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+        self.cached_tail = self
+            .shared
+            .tail
+            .0
+            .load(proto_ord!(OBSERVE, Ordering::Acquire));
         self.cached_tail.wrapping_sub(self.head)
     }
 
@@ -270,11 +299,14 @@ impl<T: Copy + Send> Consumer<T> {
             // tail ordered the producer's writes before these reads; the
             // producer will not overwrite them until rule 4 observes the
             // head advance below.
-            out.push(unsafe { (*self.shared.buf[slot].get()).assume_init() });
+            out.push(unsafe { self.shared.buf[slot].read() });
         }
         self.head = self.head.wrapping_add(n);
         // Ordering rule 3: retire the whole batch with one release store.
-        self.shared.head.0.store(self.head, Ordering::Release);
+        self.shared
+            .head
+            .0
+            .store(self.head, proto_ord!(RETIRE, Ordering::Release));
         n
     }
 
@@ -300,7 +332,7 @@ impl<T: Copy + Send> Consumer<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(kloom)))]
 mod tests {
     use super::*;
 

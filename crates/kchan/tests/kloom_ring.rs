@@ -1,0 +1,197 @@
+//! kloom model tests for the SPSC ring: the four-rule ordering protocol,
+//! checked under every bounded interleaving and weak-memory value choice.
+//!
+//! Build with `RUSTFLAGS="--cfg kloom"` (ci.sh's kloom gate does). The
+//! mutation tests weaken one protocol rule at a time to `Relaxed` via
+//! `kchan::mutation` and assert kloom reports a violation with a
+//! replayable schedule — proof the checker would catch a real ordering
+//! regression, not just vacuously pass.
+#![cfg(kloom)]
+
+use std::sync::Mutex;
+
+use kchan::ring::ring;
+use kloom::{explore, replay, FailureKind, Options};
+
+/// The mutation knob is process-global and the test harness runs tests
+/// on parallel threads: every model that touches a ring serializes here
+/// and pins the knob for its duration.
+static PROTOCOL: Mutex<()> = Mutex::new(());
+
+fn with_protocol<R>(weakened: u8, f: impl FnOnce() -> R) -> R {
+    let _g = PROTOCOL.lock().unwrap_or_else(|p| p.into_inner());
+    if weakened == 0 {
+        kchan::mutation::reset();
+    } else {
+        kchan::mutation::weaken(weakened);
+    }
+    let r = f();
+    kchan::mutation::reset();
+    r
+}
+
+fn opts() -> Options {
+    Options::default()
+}
+
+/// Producer pushing one item at a time through a capacity-1 ring forces
+/// a wraparound reuse of the single slot — the smallest scenario that
+/// exercises all four protocol rules (publish, observe, retire, reuse).
+fn wraparound_model() {
+    let (mut tx, mut rx) = ring::<u64>(1);
+    let t = kloom::thread::spawn(move || {
+        let mut sent = 0u64;
+        while sent < 2 {
+            if tx.try_push(&[sent]) == 0 {
+                kloom::thread::yield_now();
+            } else {
+                sent += 1;
+            }
+        }
+    });
+    let mut out = Vec::new();
+    while out.len() < 2 {
+        if rx.pop_into(&mut out, usize::MAX) == 0 {
+            kloom::thread::yield_now();
+        }
+    }
+    assert_eq!(out, vec![0, 1], "items crossed the ring out of order");
+    t.join().unwrap();
+}
+
+#[test]
+fn wraparound_exhaustive_under_full_protocol() {
+    let report = with_protocol(0, || explore(opts(), wraparound_model));
+    assert!(
+        report.failure.is_none(),
+        "correct ring flagged: {}",
+        report.failure.unwrap()
+    );
+    assert!(
+        report.executions > 10,
+        "model explored a real schedule space"
+    );
+}
+
+/// Batched push/pop with partial acceptance and drop accounting,
+/// capacity 2: covers multi-slot publication and the ledgers.
+#[test]
+fn batch_and_drop_ledger_exhaustive() {
+    let report = with_protocol(0, || {
+        explore(opts(), || {
+            let (mut tx, mut rx) = ring::<u64>(2);
+            let t = kloom::thread::spawn(move || {
+                let mut accepted = tx.try_push(&[1, 2, 3]);
+                assert!(accepted <= 2, "capacity-2 ring accepted {accepted}");
+                // Retry the remainder until the consumer frees slots.
+                while accepted < 3 {
+                    let n = tx.try_push(&[(accepted as u64) + 1]);
+                    if n == 0 {
+                        kloom::thread::yield_now();
+                    } else {
+                        accepted += n;
+                    }
+                }
+                tx.mark_dropped(2);
+            });
+            let mut out = Vec::new();
+            while out.len() < 3 {
+                if rx.pop_into(&mut out, usize::MAX) == 0 {
+                    kloom::thread::yield_now();
+                }
+            }
+            assert_eq!(out, vec![1, 2, 3]);
+            t.join().unwrap();
+            // Producer is gone: ledgers are final.
+            assert!(rx.is_finished());
+            assert_eq!(rx.pushed(), 3);
+            assert_eq!(rx.dropped(), 2);
+        })
+    });
+    assert!(
+        report.failure.is_none(),
+        "batched ring flagged: {}",
+        report.failure.unwrap()
+    );
+}
+
+/// Producer-done visibility: `is_finished() == true` implies the final
+/// item and final ledger values are visible, under every interleaving.
+#[test]
+fn producer_done_exhaustive() {
+    let report = with_protocol(0, || {
+        explore(opts(), || {
+            let (mut tx, mut rx) = ring::<u64>(2);
+            let t = kloom::thread::spawn(move || {
+                assert_eq!(tx.try_push(&[7]), 1);
+                // tx drops here: ledger flush, then done flag.
+            });
+            let mut out = Vec::new();
+            loop {
+                rx.pop_into(&mut out, usize::MAX);
+                if rx.is_finished() {
+                    break;
+                }
+                kloom::thread::yield_now();
+            }
+            assert_eq!(out, vec![7], "done seen but item lost");
+            assert_eq!(rx.pushed(), 1, "done seen but ledger stale");
+            t.join().unwrap();
+        })
+    });
+    assert!(
+        report.failure.is_none(),
+        "producer-done flagged: {}",
+        report.failure.unwrap()
+    );
+}
+
+/// Weakening one protocol rule must be detected as a data race on the
+/// slot cells, with a schedule string that replays to the same failure.
+fn assert_mutation_detected(rule: u8, name: &str) {
+    let failure = with_protocol(rule, || {
+        explore(opts(), wraparound_model)
+            .failure
+            .unwrap_or_else(|| panic!("kloom missed the weakened {name} ordering"))
+    });
+    assert_eq!(
+        failure.kind,
+        FailureKind::DataRace,
+        "{name}: expected a data race, got: {failure}"
+    );
+    assert!(
+        !failure.schedule.is_empty(),
+        "{name}: failure must carry a replayable schedule"
+    );
+    assert!(
+        !failure.trace.is_empty(),
+        "{name}: failure must carry the interleaving trace"
+    );
+    let replayed = with_protocol(rule, || replay(&failure.schedule, wraparound_model).failure)
+        .unwrap_or_else(|| panic!("{name}: schedule did not replay to a failure"));
+    assert_eq!(
+        replayed.kind,
+        FailureKind::DataRace,
+        "{name}: replay diverged"
+    );
+}
+
+#[test]
+fn mutation_publish_release_to_relaxed_is_detected() {
+    assert_mutation_detected(kchan::mutation::PUBLISH, "publish (rule 1)");
+}
+
+#[test]
+fn mutation_observe_acquire_to_relaxed_is_detected() {
+    assert_mutation_detected(kchan::mutation::OBSERVE, "observe (rule 2)");
+}
+
+#[test]
+fn mutation_retire_release_to_relaxed_is_detected() {
+    assert_mutation_detected(kchan::mutation::RETIRE, "retire (rule 3)");
+}
+
+#[test]
+fn mutation_reuse_acquire_to_relaxed_is_detected() {
+    assert_mutation_detected(kchan::mutation::REUSE, "reuse (rule 4)");
+}

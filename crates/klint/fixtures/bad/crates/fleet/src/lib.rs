@@ -1,5 +1,5 @@
-//! Seeded D3/M1 violations for klint's CLI exit-code test (fixture, not
-//! compiled).
+//! Seeded D3/M1/U1/A1 violations for klint's CLI exit-code test
+//! (fixture, not compiled).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -9,4 +9,12 @@ pub fn publish(flag: &AtomicU64) {
 
 pub fn program(pmu: &mut pmu::Pmu) {
     let _ = pmu.wrmsr(0x38F, 1);
+}
+
+pub unsafe fn read_raw(p: *const u64) -> u64 {
+    *p
+}
+
+pub fn publish_done(done: &AtomicU64) {
+    done.store(1, Ordering::Release);
 }

@@ -28,7 +28,7 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 pub use baseline::Baseline;
-pub use rules::{Rule, Violation, ALL_RULES};
+pub use rules::{AtomicSite, Rule, Violation, ALL_RULES};
 
 /// Parses `// klint: allow(R1, R2)` suppressions out of lexed comments.
 /// Returns `(line, rules)` pairs; a suppression covers its own line and
@@ -69,12 +69,27 @@ fn suppressions(lexed: &lexer::Lexed) -> Vec<(usize, BTreeSet<Rule>)> {
 /// derive from it.
 pub fn check_source(rel_path: &str, text: &str) -> Vec<Violation> {
     let lexed = lexer::lex(text);
-    let crate_name = rel_path
-        .strip_prefix("crates/")
-        .and_then(|rest| rest.split('/').next());
-    let in_tests_dir = rel_path.split('/').any(|seg| seg == "tests");
+    let crate_name = crate_of(rel_path);
+    let in_tests_dir = in_tests_dir(rel_path);
     let violations = rules::check_tokens(&lexed, rel_path, crate_name, in_tests_dir);
     let allows = suppressions(&lexed);
+    filter_suppressed(violations, &allows)
+}
+
+fn crate_of(rel_path: &str) -> Option<&str> {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+}
+
+fn in_tests_dir(rel_path: &str) -> bool {
+    rel_path.split('/').any(|seg| seg == "tests")
+}
+
+fn filter_suppressed(
+    violations: Vec<Violation>,
+    allows: &[(usize, BTreeSet<Rule>)],
+) -> Vec<Violation> {
     violations
         .into_iter()
         .filter(|v| {
@@ -167,18 +182,43 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
 
 /// Lints the whole workspace under `root`.
 ///
+/// Beyond the per-file rules this runs `A1`, the crate-level atomic
+/// ordering-pairing audit: every file's [`AtomicSite`]s are collected,
+/// grouped per crate, and paired by [`rules::a1_violations`]. A1 hits
+/// honor `// klint: allow(A1)` suppressions at the flagged site like any
+/// per-file rule.
+///
 /// # Errors
 ///
 /// Returns [`WalkError`] if sources cannot be listed or read.
 pub fn check_workspace(root: &Path) -> Result<Vec<Violation>, WalkError> {
     let mut all = Vec::new();
+    let mut sites: Vec<AtomicSite> = Vec::new();
+    type Allows = Vec<(usize, BTreeSet<Rule>)>;
+    let mut allows_by_path: Vec<(String, Allows)> = Vec::new();
     for rel in workspace_sources(root)? {
         let path = root.join(&rel);
         let text = std::fs::read_to_string(&path).map_err(|error| WalkError {
             path: path.clone(),
             error,
         })?;
-        all.extend(check_source(&rel, &text));
+        let lexed = lexer::lex(&text);
+        let crate_name = crate_of(&rel);
+        let tests = in_tests_dir(&rel);
+        let violations = rules::check_tokens(&lexed, &rel, crate_name, tests);
+        let allows = suppressions(&lexed);
+        all.extend(filter_suppressed(violations, &allows));
+        sites.extend(rules::collect_atomic_sites(&lexed, &rel, crate_name, tests));
+        allows_by_path.push((rel, allows));
+    }
+    let a1 = rules::a1_violations(&sites);
+    for v in a1 {
+        let allows = allows_by_path
+            .iter()
+            .find(|(p, _)| *p == v.path)
+            .map(|(_, a)| a.as_slice())
+            .unwrap_or(&[]);
+        all.extend(filter_suppressed(vec![v], allows));
     }
     Ok(all)
 }

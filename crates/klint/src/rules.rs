@@ -6,6 +6,13 @@
 //! | `D2` | no `unwrap()` / `expect()` in library code — use typed errors | `pmu`, `ksim`, `kleb`, `ktrace`, `kchan` (non-test) |
 //! | `D3` | no `Ordering::Relaxed` on atomics that gate cross-thread data visibility | `fleet`, `kchan` (allowlists: `fleet/src/metrics.rs` pure counters; `kchan/src/ring.rs`, the documented ordering-protocol module) |
 //! | `M1` | `wrmsr`/`rdmsr` call sites name a `pmu::msr` constant, never a bare integer MSR address | all crates (non-test) |
+//! | `U1` | every `unsafe` block/fn/impl is preceded by a `// SAFETY:` comment (or a `/// # Safety` doc section) justifying it | all crates |
+//! | `A1` | atomic ordering pairing, audited crate-wide: a `Release` store must have a same-field `Acquire`/`AcqRel` read somewhere in the crate, and one field must not mix `SeqCst` with `Relaxed` | all crates (non-test) |
+//!
+//! `U1` is purely per-file; `A1` is the one *crate-level* rule — its
+//! per-file pass only collects [`AtomicSite`]s, and
+//! [`a1_violations`] pairs them up across the whole crate (see
+//! `check_workspace`).
 //!
 //! `D2` and `M1` skip `#[cfg(test)]` modules and `tests/` directories:
 //! panicking on broken invariants is the *point* of a test, and tests
@@ -26,10 +33,15 @@ pub enum Rule {
     D3,
     /// MSR addresses must be named `pmu::msr` constants.
     M1,
+    /// `unsafe` requires an adjacent `// SAFETY:` justification.
+    U1,
+    /// Crate-wide atomic ordering pairing (Release↔Acquire, no
+    /// SeqCst/Relaxed mixing on one field).
+    A1,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 4] = [Rule::D1, Rule::D2, Rule::D3, Rule::M1];
+pub const ALL_RULES: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::M1, Rule::U1, Rule::A1];
 
 impl Rule {
     /// Short name used in reports, baselines, and suppressions.
@@ -39,6 +51,8 @@ impl Rule {
             Rule::D2 => "D2",
             Rule::D3 => "D3",
             Rule::M1 => "M1",
+            Rule::U1 => "U1",
+            Rule::A1 => "A1",
         }
     }
 
@@ -49,6 +63,8 @@ impl Rule {
             "D2" => Some(Rule::D2),
             "D3" => Some(Rule::D3),
             "M1" => Some(Rule::M1),
+            "U1" => Some(Rule::U1),
+            "A1" => Some(Rule::A1),
             _ => None,
         }
     }
@@ -69,13 +85,20 @@ impl Rule {
             ),
             Rule::D3 => matches!(crate_name, Some("fleet" | "kchan")),
             Rule::M1 => true,
+            // Unsafe code and atomics can appear anywhere; the
+            // justification / pairing invariants are workspace-wide.
+            Rule::U1 | Rule::A1 => true,
         }
     }
 
     /// Whether this rule skips test code (`#[cfg(test)]` modules and
     /// `tests/` directories).
     pub fn skips_tests(self) -> bool {
-        matches!(self, Rule::D2 | Rule::M1)
+        // A1 skips tests: model/stress tests deliberately use odd
+        // orderings, and pairing analysis is only meaningful over the
+        // library code that ships. U1 applies to tests too — unsafe in a
+        // test still needs its justification.
+        matches!(self, Rule::D2 | Rule::M1 | Rule::A1)
     }
 
     /// Per-file allowlist baked into the rule definition.
@@ -232,6 +255,10 @@ pub fn check_tokens(
             Rule::D2 => rule_d2(lexed),
             Rule::D3 => rule_d3(lexed),
             Rule::M1 => rule_m1(lexed),
+            Rule::U1 => rule_u1(lexed),
+            // Crate-level: sites are collected by collect_atomic_sites
+            // and paired in a1_violations, not here.
+            Rule::A1 => Vec::new(),
         };
         for (idx, snippet, message) in hits {
             if rule.skips_tests() && in_spans(&spans, idx) {
@@ -440,4 +467,250 @@ fn rule_m1(lexed: &Lexed) -> Vec<Hit> {
         }
     }
     hits
+}
+
+/// U1: every `unsafe` token introducing a block, fn, impl, or trait must
+/// have a `// SAFETY:` comment (or a `/// # Safety` doc section line)
+/// adjacent above it — on the same line, or separated only by further
+/// comment lines and attribute lines.
+fn rule_u1(lexed: &Lexed) -> Vec<Hit> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let t = &lexed.tokens;
+    // line -> "some comment on this line justifies unsafe".
+    let mut comment_lines: BTreeMap<usize, bool> = BTreeMap::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let is_safety =
+            text.starts_with("SAFETY") || (text.starts_with('/') && text.contains("# Safety"));
+        let e = comment_lines.entry(c.line).or_insert(false);
+        *e = *e || is_safety;
+    }
+    // Lines whose first token is `#` — attribute lines, transparent when
+    // walking up from `unsafe` to its justification.
+    let mut first_tok_on_line: BTreeMap<usize, &Tok> = BTreeMap::new();
+    for tok in t {
+        first_tok_on_line.entry(tok.line).or_insert(&tok.tok);
+    }
+    let attr_lines: BTreeSet<usize> = first_tok_on_line
+        .iter()
+        .filter(|(_, tok)| tok.is_punct('#'))
+        .map(|(&l, _)| l)
+        .collect();
+
+    let mut hits = Vec::new();
+    for i in 0..t.len() {
+        if !t[i].tok.is_ident("unsafe") {
+            continue;
+        }
+        let kind = match t.get(i + 1).map(|n| &n.tok) {
+            Some(Tok::Ident(s)) if s == "fn" => "unsafe fn",
+            Some(Tok::Ident(s)) if s == "impl" => "unsafe impl",
+            Some(Tok::Ident(s)) if s == "trait" => "unsafe trait",
+            Some(Tok::Ident(s)) if s == "extern" => "unsafe extern",
+            _ => "unsafe block",
+        };
+        let line = t[i].line;
+        let mut justified = comment_lines.get(&line).copied().unwrap_or(false);
+        let mut l = line;
+        while !justified && l > 1 {
+            l -= 1;
+            match comment_lines.get(&l) {
+                Some(true) => justified = true,
+                Some(false) => {}
+                // Attribute lines (e.g. `#[cfg(kloom)]`) may sit between
+                // the comment and the unsafe token; anything else ends
+                // the adjacency walk.
+                None if attr_lines.contains(&l) => {}
+                None => break,
+            }
+        }
+        if !justified {
+            hits.push((
+                i,
+                kind.to_string(),
+                format!(
+                    "{kind} without an adjacent `// SAFETY:` comment (or \
+                     `/// # Safety` doc section) justifying it"
+                ),
+            ));
+        }
+    }
+    hits
+}
+
+/// One atomic-method call site with an explicit `Ordering::…` argument,
+/// collected per file and paired crate-wide by [`a1_violations`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// Crate the file belongs to (`crates/<name>/…`).
+    pub crate_name: String,
+    /// 1-based line of the method identifier.
+    pub line: usize,
+    /// Receiver field the atomic lives in (`tail` in
+    /// `self.shared.tail.0.store(…)`).
+    pub field: String,
+    /// The atomic method (`load`, `store`, `fetch_add`, …).
+    pub op: String,
+    /// Every `Ordering::X` named in the argument list (two for
+    /// `compare_exchange`).
+    pub orderings: Vec<String>,
+}
+
+const ATOMIC_OPS: [&str; 13] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Collects [`AtomicSite`]s from one lexed file, honoring A1's scope
+/// (skips test code; files outside `crates/` yield nothing). Sites whose
+/// ordering is not a literal `Ordering::X` (e.g. passed through a
+/// variable) are skipped — pairing needs the spelling.
+pub fn collect_atomic_sites(
+    lexed: &Lexed,
+    rel_path: &str,
+    crate_name: Option<&str>,
+    in_tests_dir: bool,
+) -> Vec<AtomicSite> {
+    let Some(crate_name) = crate_name else {
+        return Vec::new();
+    };
+    if in_tests_dir || !Rule::A1.applies_to_crate(Some(crate_name)) {
+        return Vec::new();
+    }
+    let spans = test_spans(lexed);
+    let t = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 2..t.len() {
+        let Tok::Ident(op) = &t[i].tok else { continue };
+        if !ATOMIC_OPS.contains(&op.as_str())
+            || !t[i - 1].tok.is_punct('.')
+            || !t.get(i + 1).is_some_and(|n| n.tok.is_punct('('))
+            || in_spans(&spans, i)
+        {
+            continue;
+        }
+        // Resolve the receiver field, walking back over `.0` tuple
+        // projections (`self.shared.tail.0.store` → `tail`).
+        let mut j = i - 2;
+        let field = loop {
+            match &t[j].tok {
+                Tok::Ident(s) => break Some(s.clone()),
+                Tok::Num(_) if j >= 2 && t[j - 1].tok.is_punct('.') => j -= 2,
+                _ => break None,
+            }
+        };
+        let Some(field) = field else { continue };
+        // Scan the argument list (at any nesting depth — `proto_ord!`
+        // style macros wrap the literal) for `Ordering :: X`.
+        let mut orderings = Vec::new();
+        let mut depth = 1usize;
+        let mut k = i + 2;
+        while k < t.len() && depth > 0 {
+            match &t[k].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Ident(s)
+                    if s == "Ordering"
+                        && t.get(k + 1).is_some_and(|n| n.tok.is_punct(':'))
+                        && t.get(k + 2).is_some_and(|n| n.tok.is_punct(':')) =>
+                {
+                    if let Some(Tok::Ident(ord)) = t.get(k + 3).map(|n| &n.tok) {
+                        if ORDERINGS.contains(&ord.as_str()) {
+                            orderings.push(ord.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if orderings.is_empty() {
+            continue;
+        }
+        out.push(AtomicSite {
+            path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            line: t[i].line,
+            field,
+            op: op.clone(),
+            orderings,
+        });
+    }
+    out
+}
+
+/// A1's crate-level pass: groups sites by `(crate, field)` and checks
+/// that (a) a `Release` (or `AcqRel`) write has a same-field
+/// `Acquire`/`AcqRel` read somewhere in the crate, and (b) no field
+/// mixes `SeqCst` with `Relaxed` accesses.
+pub fn a1_violations(sites: &[AtomicSite]) -> Vec<Violation> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(&str, &str), Vec<&AtomicSite>> = BTreeMap::new();
+    for s in sites {
+        groups
+            .entry((s.crate_name.as_str(), s.field.as_str()))
+            .or_default()
+            .push(s);
+    }
+    let mut out = Vec::new();
+    for ((krate, field), group) in groups {
+        let has = |s: &AtomicSite, ord: &str| s.orderings.iter().any(|o| o == ord);
+        let is_write = |s: &AtomicSite| s.op != "load";
+        let is_read = |s: &AtomicSite| s.op != "store";
+        let rel_write = group
+            .iter()
+            .find(|s| is_write(s) && (has(s, "Release") || has(s, "AcqRel")));
+        let acq_read = group
+            .iter()
+            .any(|s| is_read(s) && (has(s, "Acquire") || has(s, "AcqRel")));
+        if let Some(w) = rel_write {
+            if !acq_read {
+                out.push(Violation {
+                    rule: Rule::A1,
+                    path: w.path.clone(),
+                    line: w.line,
+                    snippet: format!("{field}.{}(Release) unpaired", w.op),
+                    message: format!(
+                        "Release write to `{field}` has no Acquire/AcqRel read \
+                         anywhere in crate `{krate}` — nothing ever \
+                         synchronizes-with this publication"
+                    ),
+                });
+            }
+        }
+        let has_seqcst = group.iter().any(|s| has(s, "SeqCst"));
+        let relaxed = group.iter().find(|s| has(s, "Relaxed"));
+        if has_seqcst {
+            if let Some(r) = relaxed {
+                out.push(Violation {
+                    rule: Rule::A1,
+                    path: r.path.clone(),
+                    line: r.line,
+                    snippet: format!("{field}: SeqCst mixed with Relaxed"),
+                    message: format!(
+                        "field `{field}` in crate `{krate}` is accessed with both \
+                         SeqCst and Relaxed — the SeqCst total order silently \
+                         excludes the Relaxed accesses; pick one discipline"
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
 }

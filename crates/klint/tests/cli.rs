@@ -45,11 +45,11 @@ fn seeded_fixture_tree_fails_with_every_rule_reported() {
     let out = klint(&["--workspace", "--root", root.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
     let text = stdout(&out);
-    for tag in ["[D1]", "[D2]", "[D3]", "[M1]"] {
+    for tag in ["[D1]", "[D2]", "[D3]", "[M1]", "[U1]", "[A1]"] {
         assert!(text.contains(tag), "missing {tag} in:\n{text}");
     }
     assert!(
-        text.contains("4 violation(s): 4 new"),
+        text.contains("6 violation(s): 6 new"),
         "unexpected summary:\n{text}"
     );
     // Reports point at real locations.
@@ -77,7 +77,7 @@ fn write_baseline_is_idempotent_and_silences_the_gate() {
     let out = klint(&["--workspace", "--root", root, "--baseline", first.path()]);
     assert_eq!(out.status.code(), Some(0), "stdout: {}", stdout(&out));
     assert!(
-        stdout(&out).contains("4 violation(s): 0 new, 4 frozen"),
+        stdout(&out).contains("6 violation(s): 0 new, 6 frozen"),
         "unexpected summary:\n{}",
         stdout(&out)
     );
@@ -119,5 +119,58 @@ fn shipped_workspace_is_clean_under_its_checked_in_baseline() {
         Some(0),
         "the shipped tree must pass its own gate:\n{}",
         stdout(&out)
+    );
+}
+
+#[test]
+fn shipped_baseline_carries_zero_frozen_debt() {
+    // The checked-in baseline must stay empty: all historical violations
+    // have been fixed, so any new entry is fresh debt that should be
+    // fixed (or explicitly suppressed) rather than frozen.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let baseline = std::fs::read_to_string(root.join("klint.baseline")).unwrap();
+    let entries: Vec<&str> = baseline
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .collect();
+    assert!(
+        entries.is_empty(),
+        "klint.baseline should be empty (header only); frozen debt found:\n{}",
+        entries.join("\n")
+    );
+}
+
+#[test]
+fn json_format_reports_every_field_and_keeps_exit_codes() {
+    let root = fixture_root();
+    let out = klint(&[
+        "--workspace",
+        "--root",
+        root.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    let text = stdout(&out);
+    for needle in [
+        "\"new\": 6",
+        "\"frozen\": 0",
+        "\"rule\": \"U1\"",
+        "\"rule\": \"A1\"",
+        "\"path\": \"crates/fleet/src/lib.rs\"",
+        "\"snippet\": \"unsafe fn\"",
+        "\"line\": ",
+        "\"status\": \"new\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    // Exactly one JSON object, no human-format noise on stdout.
+    assert!(text.trim_start().starts_with('{') && text.trim_end().ends_with('}'));
+    assert!(
+        !text.contains("klint:"),
+        "human summary leaked into JSON:\n{text}"
     );
 }

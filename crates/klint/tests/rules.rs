@@ -206,3 +206,142 @@ fn h(v: Option<u32>) -> u32 { v.unwrap() }
     let (new, frozen) = all.split(&violations[..1]);
     assert_eq!((new.len(), frozen.len()), (0, 1));
 }
+
+// --- U1: SAFETY comments on unsafe ------------------------------------
+
+#[test]
+fn u1_flags_unjustified_unsafe_of_every_kind() {
+    let src = "
+pub unsafe fn read_raw(p: *const u64) -> u64 { *p }
+fn f(p: *const u64) -> u64 { unsafe { *p } }
+unsafe impl Send for X {}
+";
+    let v = check_source("crates/fleet/src/x.rs", src);
+    assert_eq!(
+        v.iter().map(|v| v.snippet.as_str()).collect::<Vec<_>>(),
+        vec!["unsafe fn", "unsafe block", "unsafe impl"]
+    );
+    assert!(v.iter().all(|v| v.rule == Rule::U1));
+}
+
+#[test]
+fn u1_accepts_safety_comments_doc_sections_and_attribute_gaps() {
+    let src = r#"
+/// Reads through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read_raw(p: *const u64) -> u64 { *p }
+
+fn f(p: *const u64) -> u64 {
+    // SAFETY: the caller validated p above.
+    unsafe { *p }
+}
+
+// SAFETY: X's interior is independently synchronized.
+#[cfg(feature = "threads")]
+unsafe impl Send for X {}
+"#;
+    assert_eq!(fired("crates/fleet/src/x.rs", src), vec![]);
+}
+
+#[test]
+fn u1_applies_to_test_code_too() {
+    let src = "fn t(p: *const u8) { unsafe { let _ = *p; } }";
+    assert_eq!(fired("crates/fleet/tests/x.rs", src), vec![Rule::U1]);
+}
+
+// --- A1: crate-wide atomic ordering pairing ---------------------------
+
+use klint::rules::{a1_violations, collect_atomic_sites};
+
+fn sites(path: &str, src: &str) -> Vec<klint::AtomicSite> {
+    let lexed = klint::lexer::lex(src);
+    let crate_name = path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next());
+    collect_atomic_sites(&lexed, path, crate_name, path.contains("/tests/"))
+}
+
+#[test]
+fn a1_flags_unpaired_release_store() {
+    let s = sites(
+        "crates/fleet/src/a.rs",
+        "fn f(x: &S) { x.done.store(1, Ordering::Release); }",
+    );
+    let v = a1_violations(&s);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::A1);
+    assert!(v[0].snippet.contains("unpaired"), "{:?}", v[0]);
+}
+
+#[test]
+fn a1_accepts_cross_file_pairing_within_a_crate() {
+    let mut s = sites(
+        "crates/fleet/src/a.rs",
+        "fn f(s: &S) { s.shared.tail.0.store(1, Ordering::Release); }",
+    );
+    s.extend(sites(
+        "crates/fleet/src/b.rs",
+        "fn g(s: &S) -> u64 { s.tail.load(Ordering::Acquire) }",
+    ));
+    assert_eq!(a1_violations(&s), vec![]);
+}
+
+#[test]
+fn a1_sees_orderings_through_macro_wrappers() {
+    // The kchan facade routes protocol orderings through proto_ord!();
+    // the literal must still be visible to the audit.
+    let mut s = sites(
+        "crates/kchan/src/a.rs",
+        "fn f(s: &S) { s.tail.store(1, proto_ord!(PUBLISH, Ordering::Release)); }",
+    );
+    assert_eq!(s.len(), 1, "{s:?}");
+    s.extend(sites(
+        "crates/kchan/src/a.rs",
+        "fn g(s: &S) -> u64 { s.tail.load(proto_ord!(OBSERVE, Ordering::Acquire)) }",
+    ));
+    assert_eq!(a1_violations(&s), vec![]);
+}
+
+#[test]
+fn a1_flags_seqcst_relaxed_mix_on_one_field() {
+    let mut s = sites(
+        "crates/fleet/src/a.rs",
+        "fn f(x: &S) { x.flag.store(1, Ordering::SeqCst); }",
+    );
+    s.extend(sites(
+        "crates/fleet/src/a.rs",
+        "fn g(x: &S) -> u64 { x.flag.load(Ordering::Relaxed) }",
+    ));
+    let v = a1_violations(&s);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(
+        v[0].snippet.contains("SeqCst mixed with Relaxed"),
+        "{:?}",
+        v[0]
+    );
+    // Uniform SeqCst (or uniform Relaxed) on a field is consistent.
+    let uniform = sites(
+        "crates/fleet/src/a.rs",
+        "fn f(x: &S) { x.flag.store(1, Ordering::SeqCst); let _ = x.flag.load(Ordering::SeqCst); }",
+    );
+    assert_eq!(a1_violations(&uniform), vec![]);
+}
+
+#[test]
+fn a1_rmw_acqrel_pairs_with_itself_and_tests_are_skipped() {
+    // An AcqRel RMW both publishes and observes the field.
+    let s = sites(
+        "crates/fleet/src/a.rs",
+        "fn f(x: &S) { x.waits.fetch_add(1, Ordering::AcqRel); }",
+    );
+    assert_eq!(a1_violations(&s), vec![]);
+    // Model/stress tests deliberately use odd orderings: out of scope.
+    let t = sites(
+        "crates/fleet/tests/x.rs",
+        "fn f(x: &S) { x.done.store(1, Ordering::Release); }",
+    );
+    assert_eq!(t, vec![]);
+}

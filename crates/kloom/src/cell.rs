@@ -1,0 +1,150 @@
+//! `UnsafeCellProbe`: the data-race tripwire for non-atomic shared data.
+//!
+//! The real code's `UnsafeCell` slots become `UnsafeCellProbe` under
+//! `cfg(kloom)`. Every access goes through [`with`](UnsafeCellProbe::with)
+//! / [`with_mut`](UnsafeCellProbe::with_mut), which run a FastTrack-style
+//! check against the location's access history:
+//!
+//! - a **read** races with the last write unless the reader's clock
+//!   observes the write's epoch;
+//! - a **write** races with the last write *and* with every read since
+//!   it, unless the writer observes them all.
+//!
+//! Because the interleaving space is explored exhaustively (within
+//! bounds), "no race reported" means no race exists in any schedule the
+//! bounds cover — the property the ring buffer's four-rule ordering
+//! protocol exists to guarantee.
+
+use std::cell::UnsafeCell;
+use std::sync::Mutex;
+
+use crate::clock::{Epoch, VClock};
+use crate::report::FailureKind;
+use crate::sched::with_current;
+
+#[derive(Debug)]
+struct CellState {
+    id: Option<u32>,
+    /// Epoch of the last write (initialization counts as a pre-history
+    /// write everyone observes).
+    write: Option<Epoch>,
+    /// Per-thread read times since the last write.
+    reads: VClock,
+}
+
+/// An `UnsafeCell` that reports unsynchronized conflicting accesses
+/// instead of silently exhibiting them.
+#[derive(Debug)]
+pub struct UnsafeCellProbe<T> {
+    data: UnsafeCell<T>,
+    state: Mutex<CellState>,
+}
+
+// SAFETY: the probe serializes all model-visible access through the kloom
+// scheduler (exactly one model thread runs at a time), and the whole
+// point of the type is to *report* any access pattern that would be a
+// data race on the real UnsafeCell it shadows.
+unsafe impl<T: Send> Send for UnsafeCellProbe<T> {}
+// SAFETY: as above — the token-passing scheduler guarantees mutual
+// exclusion of actual memory access; logical races are detected and
+// reported via vector clocks rather than being undefined behavior.
+unsafe impl<T: Send> Sync for UnsafeCellProbe<T> {}
+
+fn relock(m: &Mutex<CellState>) -> std::sync::MutexGuard<'_, CellState> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl<T> UnsafeCellProbe<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            data: UnsafeCell::new(value),
+            state: Mutex::new(CellState {
+                id: None,
+                write: None,
+                reads: VClock::new(),
+            }),
+        }
+    }
+
+    fn check(&self, is_write: bool) {
+        if std::thread::panicking() {
+            // Teardown path (destructor during abort unwind): skip the
+            // race check rather than panic inside a panic.
+            return;
+        }
+        with_current(|exec, tid| {
+            let mut st = exec.lock();
+            let mut cs = relock(&self.state);
+            let id = match cs.id {
+                Some(id) => id,
+                None => {
+                    let id = st.new_object();
+                    cs.id = Some(id);
+                    id
+                }
+            };
+            let kind = if is_write { "write" } else { "read" };
+            exec.op_prologue(&mut st, tid, || format!("cell#{id}.{kind}"));
+            let clock = st.threads[tid].clock.clone();
+            if let Some(w) = cs.write {
+                if w.thread != tid && !clock.observes(w) {
+                    st.fail(
+                        FailureKind::DataRace,
+                        format!(
+                            "cell#{id}: {kind} by T{tid} races with write by T{} \
+                             (no happens-before edge)",
+                            w.thread
+                        ),
+                    );
+                    drop(cs);
+                    exec.schedule_next(st, tid);
+                    return;
+                }
+            }
+            if is_write {
+                // A write must also have observed every read since the
+                // previous write.
+                let racing_reader =
+                    (0..st.threads.len()).find(|&u| u != tid && cs.reads.get(u) > clock.get(u));
+                if let Some(u) = racing_reader {
+                    st.fail(
+                        FailureKind::DataRace,
+                        format!(
+                            "cell#{id}: write by T{tid} races with read by T{u} \
+                             (no happens-before edge)"
+                        ),
+                    );
+                    drop(cs);
+                    exec.schedule_next(st, tid);
+                    return;
+                }
+                st.threads[tid].spinning = false;
+                cs.write = Some(Epoch {
+                    thread: tid,
+                    time: clock.get(tid),
+                });
+                cs.reads = VClock::new();
+            } else {
+                let t = clock.get(tid);
+                cs.reads.set(tid, t);
+            }
+            drop(cs);
+            exec.schedule_next(st, tid);
+        });
+    }
+
+    /// Immutable access; reports a race against any unsynchronized write.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        self.check(false);
+        f(self.data.get())
+    }
+
+    /// Mutable access; reports a race against any unsynchronized access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.check(true);
+        f(self.data.get())
+    }
+}

@@ -1,0 +1,92 @@
+//! Failure reporting: what went wrong, on which schedule, and the full
+//! interleaving that gets there.
+
+use std::fmt;
+
+/// Classes of model failure kloom distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Unsynchronized conflicting accesses to an [`crate::cell::UnsafeCellProbe`].
+    DataRace,
+    /// A model thread panicked (failed `assert!`, index out of bounds, …).
+    Assertion,
+    /// Live threads with no runnable one — includes lost wakeups, since
+    /// kloom models `wait_timeout` as never timing out.
+    Deadlock,
+    /// A single execution ran past the operation budget (runaway loop).
+    OpBudget,
+    /// Exploration hit the execution budget before exhausting the tree.
+    ExplorationBudget,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::DataRace => "data race",
+            FailureKind::Assertion => "assertion failure",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::OpBudget => "operation budget exceeded",
+            FailureKind::ExplorationBudget => "exploration budget exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One model failure, carrying a replayable schedule string.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Decision indices joined by `.`; feed to [`crate::replay`] to
+    /// deterministically re-run the exact failing execution.
+    pub schedule: String,
+    /// The failing interleaving, one instrumented op per line (filled in
+    /// by the automatic replay pass; empty if replay itself diverged).
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kloom: {}: {}", self.kind, self.message)?;
+        writeln!(f, "  schedule: \"{}\"", self.schedule)?;
+        if self.trace.is_empty() {
+            writeln!(f, "  (no interleaving trace recorded)")?;
+        } else {
+            writeln!(f, "  failing interleaving ({} ops):", self.trace.len())?;
+            for line in &self.trace {
+                writeln!(f, "    {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an exploration: how much was searched, and the first
+/// failure if any.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of distinct executions (interleavings) run.
+    pub executions: usize,
+    /// First failure found, if any; `None` means the bounded search space
+    /// was exhausted cleanly.
+    pub failure: Option<Failure>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_schedule_and_trace() {
+        let f = Failure {
+            kind: FailureKind::DataRace,
+            message: "write/write on cell#0".into(),
+            schedule: "1.0.2".into(),
+            trace: vec!["T0 store x = 1".into(), "T1 store x = 2".into()],
+        };
+        let s = f.to_string();
+        assert!(s.contains("data race"));
+        assert!(s.contains("\"1.0.2\""));
+        assert!(s.contains("T1 store x = 2"));
+    }
+}

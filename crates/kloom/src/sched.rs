@@ -1,0 +1,587 @@
+//! The bounded-exhaustive scheduler.
+//!
+//! One *execution* runs the model closure with every model thread mapped
+//! to a real OS thread, but strictly serialized: a single token is handed
+//! from thread to thread, and only the token holder may execute an
+//! instrumented operation (atomic access, cell probe, lock, spawn, …).
+//! Every operation ends in a *decision point*: which thread runs next,
+//! recorded as an index into the sorted set of enabled threads. Loads add
+//! a second decision kind — which of the coherence-permitted store values
+//! to observe ([`crate::atomic`]).
+//!
+//! Exploration is a depth-first walk of the decision tree: run an
+//! execution following the recorded path (extending it with first-choice
+//! decisions), then backtrack the deepest decision that still has
+//! unexplored options and rerun. The walk is pruned two ways:
+//!
+//! - **Preemption bounding** (Musuvathi & Qadeer): switching away from a
+//!   thread that could have continued costs one preemption; schedules are
+//!   explored in increasing preemption count up to a bound (default 2).
+//!   Switches at blocking, yielding or termination are free. Almost all
+//!   real ordering bugs need ≤ 2 preemptions, while the bound collapses
+//!   the factorial schedule space to a polynomial one.
+//! - **Yield fairness**: a thread that calls `yield_now` (the facade maps
+//!   spin-loop backoff here) is not schedulable again until some other
+//!   thread executes an operation, so spin loops cannot generate
+//!   unbounded interleavings; each spin iteration is bounded by the
+//!   peers' remaining operations.
+//!
+//! A decision path serializes to a *schedule string* (choice indices
+//! joined by `.`), and any failure report carries one. Replaying the
+//! string re-runs that exact execution — same thread interleaving, same
+//! observed values — which is also how the failure trace is produced.
+//!
+//! Progress guarantee: when only one thread remains runnable, its loads
+//! are forced to observe the coherence-newest value (eventual visibility),
+//! so drain loops terminate. A genuinely lost wakeup therefore surfaces
+//! as a deadlock, not a hang.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VClock;
+use crate::report::{Failure, FailureKind};
+
+/// Sentinel unwind payload used to tear down model threads when an
+/// execution aborts (failure found, or exploration cancelled).
+pub(crate) struct Abort;
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with the calling model thread's execution context.
+///
+/// # Panics
+///
+/// Panics if called from outside a model execution — kloom's shadow types
+/// only function inside [`crate::model`] / [`crate::explore`].
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Exec>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let (exec, tid) = borrow
+            .as_ref()
+            .unwrap_or_else(|| panic!("kloom sync operation outside a kloom::model execution"));
+        f(exec, *tid)
+    })
+}
+
+/// What a thread is blocked on, if anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Run {
+    /// Schedulable.
+    Runnable,
+    /// Waiting for a mutex (object id) to be released.
+    BlockedMutex(u32),
+    /// Waiting for a condvar (object id) notification.
+    BlockedCondvar(u32),
+    /// Waiting for a thread (tid) to finish.
+    BlockedJoin(usize),
+    /// Done; clock kept for joiners.
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadSlot {
+    /// The thread's happens-before view.
+    pub(crate) clock: VClock,
+    /// Clock captured by the last release fence (attached to later
+    /// relaxed stores).
+    pub(crate) rel_fence: VClock,
+    /// Release clocks read by relaxed loads, pending an acquire fence.
+    pub(crate) acq_pending: VClock,
+    pub(crate) run: Run,
+    /// Set by `yield_now`; cleared when another thread executes an op.
+    pub(crate) yielded: bool,
+    /// True between a `yield_now` and the thread's next real progress
+    /// (store/RMW/lock). While spinning, loads are forced to the newest
+    /// value — the eventual-visibility fairness rule that keeps poll
+    /// loops from multiplying stale-value branches per iteration.
+    pub(crate) spinning: bool,
+}
+
+/// One recorded decision: `chosen` out of `options`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub(crate) chosen: usize,
+    pub(crate) options: usize,
+}
+
+/// Serializes a decision path as a schedule string (`"1.0.2"`).
+pub(crate) fn schedule_string(path: &[Choice]) -> String {
+    path.iter()
+        .map(|c| c.chosen.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Parses a schedule string back into a replay path. Option counts are
+/// unknown at parse time; they are reconstructed (and validated) as the
+/// replay consumes decisions.
+pub(crate) fn parse_schedule(s: &str) -> Option<Vec<Choice>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split('.')
+        .map(|part| {
+            part.parse::<usize>().ok().map(|chosen| Choice {
+                chosen,
+                options: usize::MAX, // fixed up when consumed
+            })
+        })
+        .collect()
+}
+
+pub(crate) struct State {
+    pub(crate) threads: Vec<ThreadSlot>,
+    /// Token holder.
+    pub(crate) active: Option<usize>,
+    /// Decision path: prefix is replayed, suffix is recorded.
+    pub(crate) path: Vec<Choice>,
+    /// Next decision index.
+    pub(crate) depth: usize,
+    pub(crate) preemptions: u32,
+    pub(crate) bound: u32,
+    pub(crate) ops: usize,
+    pub(crate) max_ops: usize,
+    /// Global SC clock (see `atomic`: SC ops join it both ways).
+    pub(crate) sc_clock: VClock,
+    pub(crate) failure: Option<Failure>,
+    pub(crate) abort: bool,
+    /// Interleaving trace, recorded only on replay-for-report runs.
+    pub(crate) trace: Option<Vec<String>>,
+    /// Registered and not yet finished.
+    pub(crate) live: usize,
+    /// Object ids for mutexes/condvars/atomics/cells (diagnostics and
+    /// blocked-on bookkeeping).
+    pub(crate) next_object: u32,
+}
+
+impl State {
+    /// Consumes (or records) one decision with `options` alternatives.
+    pub(crate) fn choose(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 1);
+        if options == 1 {
+            return 0;
+        }
+        let chosen = if self.depth < self.path.len() {
+            let c = &mut self.path[self.depth];
+            if c.options == usize::MAX {
+                c.options = options; // replayed from a schedule string
+            }
+            c.chosen.min(options - 1)
+        } else {
+            self.path.push(Choice { chosen: 0, options });
+            0
+        };
+        self.depth += 1;
+        chosen
+    }
+
+    /// First failure wins; sets the abort flag either way.
+    pub(crate) fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                kind,
+                message,
+                schedule: schedule_string(&self.path[..self.depth]),
+                trace: self.trace.take().unwrap_or_default(),
+            });
+        }
+        self.abort = true;
+    }
+
+    /// Appends a line to the interleaving trace, if one is being recorded.
+    pub(crate) fn trace_line(&mut self, tid: usize, line: impl FnOnce() -> String) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(format!("T{tid} {}", line()));
+        }
+    }
+
+    /// Fresh diagnostic id for a shadow object.
+    pub(crate) fn new_object(&mut self) -> u32 {
+        let id = self.next_object;
+        self.next_object += 1;
+        id
+    }
+
+    /// Whether any thread other than `tid` could still execute (used for
+    /// the eventual-visibility rule on loads).
+    pub(crate) fn others_runnable(&self, tid: usize) -> bool {
+        self.threads
+            .iter()
+            .enumerate()
+            .any(|(i, t)| i != tid && t.run == Run::Runnable)
+    }
+
+    /// Enabled = runnable and not yield-parked; falls back to yielded
+    /// runnables when everyone polite is out of moves.
+    fn enabled(&self) -> Vec<usize> {
+        let eager: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable && !t.yielded)
+            .map(|(i, _)| i)
+            .collect();
+        if !eager.is_empty() {
+            return eager;
+        }
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn blocked_summary(&self) -> String {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run != Run::Finished)
+            .map(|(i, t)| format!("T{i}:{:?}", t.run))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+pub(crate) struct Exec {
+    pub(crate) state: Mutex<State>,
+    pub(crate) cv: Condvar,
+    /// OS handles for every model thread; joined by the controller at
+    /// execution end so threads never pile up across executions.
+    pub(crate) os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Locks a possibly-poisoned mutex (a panicking model thread may have
+/// held it mid-unwind; the state itself stays consistent because every
+/// mutation completes before any unwind starts).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Exec {
+    pub(crate) fn new(path: Vec<Choice>, bound: u32, max_ops: usize, trace: bool) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                active: None,
+                path,
+                depth: 0,
+                preemptions: 0,
+                bound,
+                ops: 0,
+                max_ops,
+                sc_clock: VClock::new(),
+                failure: None,
+                abort: false,
+                trace: trace.then(Vec::new),
+                live: 0,
+                next_object: 0,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, State> {
+        relock(&self.state)
+    }
+
+    /// Registers a new model thread whose clock starts at `clock`
+    /// (the spawner's view, so spawn happens-before the first child op).
+    pub(crate) fn register_thread(&self, clock: VClock) -> usize {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        st.threads.push(ThreadSlot {
+            clock,
+            rel_fence: VClock::new(),
+            acq_pending: VClock::new(),
+            run: Run::Runnable,
+            yielded: false,
+            spinning: false,
+        });
+        st.live += 1;
+        tid
+    }
+
+    /// Blocks the calling OS thread until its model thread holds the
+    /// token (or the execution aborts, in which case it unwinds).
+    pub(crate) fn wait_for_token(&self, tid: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == Some(tid) {
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Operation prologue: abort check, op budget, clock tick, optional
+    /// trace line. Must hold the token.
+    pub(crate) fn op_prologue(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        tid: usize,
+        desc: impl FnOnce() -> String,
+    ) {
+        if st.abort {
+            std::panic::panic_any(Abort);
+        }
+        st.ops += 1;
+        if st.ops > st.max_ops {
+            let max = st.max_ops;
+            st.fail(
+                FailureKind::OpBudget,
+                format!("execution exceeded {max} operations — unbounded loop in the model?"),
+            );
+            self.cv.notify_all();
+            std::panic::panic_any(Abort);
+        }
+        st.threads[tid].clock.tick(tid);
+        // Another thread made progress: spinners get a fresh look.
+        for (i, t) in st.threads.iter_mut().enumerate() {
+            if i != tid {
+                t.yielded = false;
+            }
+        }
+        st.trace_line(tid, desc);
+    }
+
+    /// Decision point: pick who runs next, hand over the token, and (if
+    /// the caller stays runnable but loses it) wait for it back. Consumes
+    /// the guard. Unwinds with [`Abort`] if the execution is aborting.
+    pub(crate) fn schedule_next(&self, mut st: MutexGuard<'_, State>, tid: usize) {
+        if st.abort {
+            drop(st);
+            self.cv.notify_all();
+            std::panic::panic_any(Abort);
+        }
+        let enabled = st.enabled();
+        if enabled.is_empty() {
+            let live = st.live;
+            if live == 0 {
+                st.active = None;
+                drop(st);
+                self.cv.notify_all();
+                return;
+            }
+            let summary = st.blocked_summary();
+            st.fail(
+                FailureKind::Deadlock,
+                format!("deadlock: {live} live thread(s), none runnable [{summary}]"),
+            );
+            drop(st);
+            self.cv.notify_all();
+            std::panic::panic_any(Abort);
+        }
+        let me_enabled = enabled.contains(&tid);
+        let next = if me_enabled && st.preemptions >= st.bound {
+            tid
+        } else {
+            let choice = st.choose(enabled.len());
+            enabled[choice]
+        };
+        if next != tid && me_enabled && !st.threads[tid].yielded {
+            st.preemptions += 1;
+        }
+        st.threads[next].yielded = false;
+        st.active = Some(next);
+        let am_runnable = st.threads[tid].run == Run::Runnable;
+        drop(st);
+        self.cv.notify_all();
+        if next != tid && am_runnable {
+            self.wait_for_token(tid);
+        } else if next != tid {
+            // Blocked or finished: the caller either waits to become
+            // runnable again (blocking ops loop on wait_for_token) or is
+            // done and returns for good.
+        }
+    }
+
+    /// Marks `tid` finished, wakes joiners, and passes the token on.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid].run = Run::Finished;
+        st.live -= 1;
+        for t in st.threads.iter_mut() {
+            if t.run == Run::BlockedJoin(tid) {
+                t.run = Run::Runnable;
+            }
+        }
+        if st.live == 0 {
+            st.active = None;
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        if st.abort {
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        // Hand the token to a survivor; a finished thread never waits for
+        // it back, and deadlock detection runs as usual.
+        let me = tid;
+        // schedule_next unwinds on abort; a finished thread must not —
+        // catch and swallow the teardown signal.
+        let res = catch_unwind(AssertUnwindSafe(|| self.schedule_next(st, me)));
+        if let Err(p) = res {
+            if !p.is::<Abort>() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    }
+
+    /// Tears down an aborting execution from a thread that caught a user
+    /// panic: records the failure (if it is the first) and wakes everyone.
+    pub(crate) fn abort_with_user_panic(&self, tid: usize, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "model assertion panicked (non-string payload)".to_string());
+        let mut st = self.lock();
+        st.fail(
+            FailureKind::Assertion,
+            format!("thread T{tid} panicked: {msg}"),
+        );
+        st.threads[tid].run = Run::Finished;
+        st.live -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Marks an abort-unwound thread finished (failure already recorded).
+    pub(crate) fn finish_aborted(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.threads[tid].run != Run::Finished {
+            st.threads[tid].run = Run::Finished;
+            st.live -= 1;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Controller side: waits until every registered thread has finished,
+    /// then joins their OS threads.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = self.lock();
+        while st.live > 0 {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        drop(st);
+        let handles = std::mem::take(&mut *relock(&self.os_handles));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns one model thread running `f` under `exec` with the given
+/// initial clock; returns its tid. The OS handle is parked in the
+/// execution for the controller to join.
+pub(crate) fn spawn_model_thread<F>(exec: &Arc<Exec>, clock: VClock, f: F) -> usize
+where
+    F: FnOnce() + Send + 'static,
+{
+    let tid = exec.register_thread(clock);
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::spawn(move || {
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), tid)));
+        exec2.wait_for_token(tid);
+        let result = catch_unwind(AssertUnwindSafe(f));
+        match result {
+            Ok(()) => exec2.finish_thread(tid),
+            Err(payload) => {
+                if payload.is::<Abort>() {
+                    exec2.finish_aborted(tid);
+                } else {
+                    exec2.abort_with_user_panic(tid, payload.as_ref());
+                }
+            }
+        }
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    });
+    relock(&exec.os_handles).push(handle);
+    tid
+}
+
+/// Advances the DFS path to the next unexplored branch. Returns false
+/// when the tree is exhausted.
+pub(crate) fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_walks_the_tree_in_order() {
+        let mut path = vec![
+            Choice {
+                chosen: 0,
+                options: 2,
+            },
+            Choice {
+                chosen: 1,
+                options: 2,
+            },
+        ];
+        assert!(advance(&mut path));
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].chosen, 1);
+        assert!(!advance(&mut path));
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn schedule_string_round_trips() {
+        let path = vec![
+            Choice {
+                chosen: 1,
+                options: 3,
+            },
+            Choice {
+                chosen: 0,
+                options: 2,
+            },
+            Choice {
+                chosen: 2,
+                options: 4,
+            },
+        ];
+        let s = schedule_string(&path);
+        assert_eq!(s, "1.0.2");
+        let parsed = parse_schedule(&s).unwrap();
+        assert_eq!(
+            parsed.iter().map(|c| c.chosen).collect::<Vec<_>>(),
+            vec![1, 0, 2]
+        );
+        assert_eq!(parse_schedule("").unwrap(), Vec::<Choice>::new().as_slice());
+        assert!(parse_schedule("1.x.2").is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! Shadow `thread::spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Spawn edges and join edges enter the happens-before relation the
+//! obvious way (child starts with the parent's clock; join folds the
+//! child's final clock into the joiner). `yield_now` marks the thread
+//! yield-parked: it cannot be scheduled again until some other thread
+//! executes an operation, which bounds spin-loop interleavings.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{spawn_model_thread, with_current, Run};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (visibly to the scheduler) until the thread finishes, then
+    /// returns its value. The child's final clock is joined into the
+    /// caller, so everything it did happens-before the return.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        let target = self.tid;
+        with_current(|exec, tid| loop {
+            let mut st = exec.lock();
+            exec.op_prologue(&mut st, tid, || format!("join(T{target})"));
+            if st.threads[target].run == Run::Finished {
+                let child_clock = st.threads[target].clock.clone();
+                st.threads[tid].clock.join(&child_clock);
+                exec.schedule_next(st, tid);
+                return;
+            }
+            st.threads[tid].run = Run::BlockedJoin(target);
+            exec.schedule_next(st, tid);
+            exec.wait_for_token(tid);
+        });
+        let val = match self.result.lock() {
+            Ok(mut g) => g.take(),
+            Err(p) => p.into_inner().take(),
+        };
+        // A missing result means the child panicked — but a user panic
+        // aborts the whole execution before join can return, so this is
+        // unreachable in practice; report it as a join error regardless.
+        val.map(Ok)
+            .unwrap_or_else(|| Err(Box::new("kloom: joined thread produced no value") as _))
+    }
+}
+
+/// Spawns a model thread. The closure runs under the kloom scheduler;
+/// every instrumented op inside it is a decision point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    with_current(|exec, tid| {
+        let mut st = exec.lock();
+        exec.op_prologue(&mut st, tid, || "spawn".to_string());
+        let child_clock = st.threads[tid].clock.clone();
+        // register_thread re-locks the scheduler state, so release it
+        // first; no other thread can act meanwhile (we hold the token).
+        drop(st);
+        let child_tid = spawn_model_thread(exec, child_clock, move || {
+            let v = f();
+            match result2.lock() {
+                Ok(mut g) => *g = Some(v),
+                Err(p) => *p.into_inner() = Some(v),
+            }
+        });
+        let st = exec.lock();
+        exec.schedule_next(st, tid);
+        JoinHandle {
+            tid: child_tid,
+            result,
+        }
+    })
+}
+
+/// Cooperative yield: park until another thread makes progress. The
+/// facade maps spin-loop backoff (`std::thread::yield_now`, short sleeps)
+/// here so polling loops stay bounded.
+pub fn yield_now() {
+    with_current(|exec, tid| {
+        let mut st = exec.lock();
+        exec.op_prologue(&mut st, tid, || "yield_now".to_string());
+        st.threads[tid].yielded = true;
+        st.threads[tid].spinning = true;
+        exec.schedule_next(st, tid);
+    });
+}
+
+/// Modeled as a yield — model time has no duration.
+pub fn sleep(_dur: std::time::Duration) {
+    yield_now();
+}

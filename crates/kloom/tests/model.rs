@@ -1,0 +1,317 @@
+//! kloom self-tests: the checker must (a) accept textbook-correct
+//! synchronization, (b) reject textbook-broken synchronization with a
+//! replayable schedule, and (c) replay deterministically.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use kloom::cell::UnsafeCellProbe;
+use kloom::sync::atomic::{fence, AtomicBool, AtomicUsize};
+use kloom::sync::{Condvar, Mutex};
+use kloom::{explore, replay, FailureKind, Options};
+
+fn opts() -> Options {
+    Options::default()
+}
+
+/// Message passing, done right: Release store / Acquire load pair. The
+/// cell read must never race, under any interleaving.
+#[test]
+fn message_passing_release_acquire_is_clean() {
+    let report = explore(opts(), || {
+        let data = Arc::new(UnsafeCellProbe::new(0u32));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (d2, r2) = (Arc::clone(&data), Arc::clone(&ready));
+        let t = kloom::thread::spawn(move || {
+            d2.with_mut(|p| {
+                // SAFETY: the Release/Acquire pair below orders this
+                // write before any reader that sees ready == true.
+                unsafe { *p = 42 }
+            });
+            r2.store(true, Ordering::Release);
+        });
+        if ready.load(Ordering::Acquire) {
+            let v = data.with(|p| {
+                // SAFETY: ready == true acquired the writer's clock.
+                unsafe { *p }
+            });
+            assert_eq!(v, 42);
+        }
+        t.join().unwrap();
+    });
+    assert!(
+        report.failure.is_none(),
+        "correct MP flagged: {}",
+        report.failure.unwrap()
+    );
+    assert!(report.executions > 1, "exploration actually branched");
+}
+
+/// Same shape with Relaxed: kloom must find the data race and hand back
+/// a schedule string that replays to the same race.
+#[test]
+fn message_passing_relaxed_races_and_replays() {
+    let model = || {
+        let data = Arc::new(UnsafeCellProbe::new(0u32));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (d2, r2) = (Arc::clone(&data), Arc::clone(&ready));
+        let t = kloom::thread::spawn(move || {
+            d2.with_mut(|p| {
+                // SAFETY: intentionally broken — no ordering; kloom is
+                // expected to report the race, not the optimizer to
+                // miscompile (the probe never yields aliasing refs).
+                unsafe { *p = 42 }
+            });
+            r2.store(true, Ordering::Relaxed);
+        });
+        if ready.load(Ordering::Relaxed) {
+            data.with(|p| {
+                // SAFETY: as above — the racing read under test.
+                unsafe { *p }
+            });
+        }
+        t.join().unwrap();
+    };
+    let report = explore(opts(), model);
+    let failure = report.failure.expect("relaxed MP must race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+    assert!(!failure.schedule.is_empty(), "schedule must be replayable");
+    assert!(
+        !failure.trace.is_empty(),
+        "failure carries the interleaving"
+    );
+
+    let replayed = replay(&failure.schedule, model)
+        .failure
+        .expect("replay reproduces");
+    assert_eq!(replayed.kind, FailureKind::DataRace);
+}
+
+/// Store buffering (Dekker): with SeqCst both threads cannot read the
+/// other's flag as 0; with Relaxed kloom must exhibit exactly that.
+#[test]
+fn store_buffering_seqcst_forbids_both_stale() {
+    let report = explore(opts(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let seen = Arc::new(Mutex::new((0usize, 0usize)));
+        let s2 = Arc::clone(&seen);
+        let t = kloom::thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            let r = y2.load(Ordering::SeqCst);
+            s2.lock().unwrap().0 = r + 1; // +1 marks "ran"
+        });
+        y.store(1, Ordering::SeqCst);
+        let r = x.load(Ordering::SeqCst);
+        seen.lock().unwrap().1 = r + 1;
+        t.join().unwrap();
+        let (a, b) = *seen.lock().unwrap();
+        assert!(
+            !(a == 1 && b == 1),
+            "SC violated: both threads read 0 (a={a}, b={b})"
+        );
+    });
+    assert!(
+        report.failure.is_none(),
+        "SeqCst SB flagged: {}",
+        report.failure.unwrap()
+    );
+}
+
+#[test]
+fn store_buffering_relaxed_exhibits_both_stale() {
+    let report = explore(opts(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = kloom::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let r_main = x.load(Ordering::Relaxed);
+        let r_child = t.join().unwrap();
+        assert!(
+            !(r_main == 0 && r_child == 0),
+            "both loads stale — relaxed SB anomaly"
+        );
+    });
+    let failure = report.failure.expect("relaxed SB anomaly must be found");
+    assert_eq!(failure.kind, FailureKind::Assertion);
+    assert!(!failure.schedule.is_empty());
+}
+
+/// Fence-based MP: relaxed accesses ordered by explicit fences must be
+/// accepted (C11 fence synchronization).
+#[test]
+fn fence_synchronization_is_understood() {
+    let report = explore(opts(), || {
+        let data = Arc::new(UnsafeCellProbe::new(0u32));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (d2, r2) = (Arc::clone(&data), Arc::clone(&ready));
+        let t = kloom::thread::spawn(move || {
+            d2.with_mut(|p| {
+                // SAFETY: ordered by the Release fence below.
+                unsafe { *p = 7 }
+            });
+            fence(Ordering::Release);
+            r2.store(true, Ordering::Relaxed);
+        });
+        if ready.load(Ordering::Relaxed) {
+            fence(Ordering::Acquire);
+            let v = data.with(|p| {
+                // SAFETY: the fence pair transfers the writer's clock.
+                unsafe { *p }
+            });
+            assert_eq!(v, 7);
+        }
+        t.join().unwrap();
+    });
+    assert!(
+        report.failure.is_none(),
+        "fence MP flagged: {}",
+        report.failure.unwrap()
+    );
+}
+
+/// Modification-order (read-read) coherence: once a thread has seen the
+/// newer store it can never read the older one, even fully Relaxed.
+#[test]
+fn modification_order_read_read_coherence() {
+    let report = explore(opts(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = Arc::clone(&x);
+        let t = kloom::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            x2.store(2, Ordering::Relaxed);
+        });
+        let r1 = x.load(Ordering::Relaxed);
+        let r2 = x.load(Ordering::Relaxed);
+        assert!(r2 >= r1, "coherence violated: read {r2} after {r1}");
+        t.join().unwrap();
+    });
+    assert!(
+        report.failure.is_none(),
+        "coherent reads flagged: {}",
+        report.failure.unwrap()
+    );
+}
+
+/// A wait with no flag protocol loses the wakeup when notify lands
+/// first; kloom models wait_timeout as never firing, so this must be
+/// reported as a deadlock.
+#[test]
+fn lost_wakeup_is_reported_as_deadlock() {
+    let report = explore(opts(), || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = kloom::thread::spawn(move || {
+            p2.1.notify_all();
+        });
+        let guard = pair.0.lock().unwrap();
+        let _guard = pair.1.wait(guard).unwrap(); // no predicate: broken
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("lost wakeup must deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(!failure.schedule.is_empty());
+}
+
+/// The flag-under-lock protocol never loses the wakeup: same scenario
+/// with a predicate must pass exhaustively.
+#[test]
+fn predicate_guarded_wait_never_deadlocks() {
+    let report = explore(opts(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = kloom::thread::spawn(move || {
+            *p2.0.lock().unwrap() = true;
+            p2.1.notify_all();
+        });
+        let mut guard = pair.0.lock().unwrap();
+        while !*guard {
+            guard = pair.1.wait(guard).unwrap();
+        }
+        drop(guard);
+        t.join().unwrap();
+    });
+    assert!(
+        report.failure.is_none(),
+        "correct condvar protocol flagged: {}",
+        report.failure.unwrap()
+    );
+}
+
+/// Spin loops via yield_now terminate under the fairness rule and keep
+/// the execution count bounded.
+#[test]
+fn yield_spin_loop_terminates() {
+    let report = explore(opts(), || {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = kloom::thread::spawn(move || {
+            f2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Acquire) {
+            kloom::thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+    assert!(report.failure.is_none());
+    assert!(
+        report.executions < 10_000,
+        "spin loop exploded the schedule space: {} executions",
+        report.executions
+    );
+}
+
+/// Same schedule string → byte-identical interleaving trace, twice.
+#[test]
+fn schedule_replay_is_deterministic() {
+    let model = || {
+        let data = Arc::new(UnsafeCellProbe::new(0u32));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (d2, r2) = (Arc::clone(&data), Arc::clone(&ready));
+        let t = kloom::thread::spawn(move || {
+            d2.with_mut(|p| {
+                // SAFETY: intentionally racy fixture (see relaxed MP test).
+                unsafe { *p = 1 }
+            });
+            r2.store(true, Ordering::Relaxed);
+        });
+        if ready.load(Ordering::Relaxed) {
+            data.with(|p| {
+                // SAFETY: racing read under test.
+                unsafe { *p }
+            });
+        }
+        t.join().unwrap();
+    };
+    let failure = explore(opts(), model).failure.expect("fixture races");
+    let a = replay(&failure.schedule, model).failure.expect("replay 1");
+    let b = replay(&failure.schedule, model).failure.expect("replay 2");
+    assert_eq!(a.kind, b.kind);
+    assert_eq!(a.trace, b.trace, "replays diverged");
+    assert_eq!(a.trace, failure.trace, "replay differs from original");
+}
+
+/// Lock-ordering deadlock (ABBA) is found.
+#[test]
+fn abba_deadlock_is_found() {
+    let report = explore(opts(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = kloom::thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("ABBA must deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}

@@ -49,7 +49,11 @@ impl JitterModel {
             return Duration::ZERO;
         }
         use rand_distr::{Distribution, Normal};
-        let normal = Normal::new(self.mean_ns, self.sigma_ns).expect("sigma must be finite");
+        // A non-finite/negative sigma cannot form a distribution; rather
+        // than panic mid-simulation, degrade to the deterministic mean.
+        let Ok(normal) = Normal::new(self.mean_ns, self.sigma_ns) else {
+            return Duration::from_nanos(self.mean_ns.abs() as u64);
+        };
         let slip: f64 = normal.sample(rng).abs();
         Duration::from_nanos(slip as u64)
     }

@@ -340,8 +340,12 @@ impl Machine {
         self.devices.push(Some(device));
         let factor = if self.cfg.tool_cost_jitter > 0.0 {
             use rand_distr::{Distribution, Normal};
-            let normal = Normal::new(1.0, self.cfg.tool_cost_jitter).expect("finite sigma");
-            normal.sample(&mut self.rng).clamp(0.6, 1.4)
+            // A non-finite jitter sigma cannot form a distribution;
+            // degrade to the unjittered factor instead of panicking.
+            match Normal::new(1.0, self.cfg.tool_cost_jitter) {
+                Ok(normal) => normal.sample(&mut self.rng).clamp(0.6, 1.4),
+                Err(_) => 1.0,
+            }
         } else {
             1.0
         };
@@ -534,10 +538,13 @@ impl Machine {
     fn run_one_item(&mut self, core: CoreId, pid: Pid) {
         let proc = self.procs.get_mut(pid);
         let prev = std::mem::take(&mut proc.mailbox);
-        let mut wl = proc
-            .workload
-            .take()
-            .expect("running process has a workload");
+        // A running process always carries a workload; if that invariant
+        // ever breaks, retiring the process is strictly safer than
+        // panicking mid-simulation.
+        let Some(mut wl) = proc.workload.take() else {
+            self.exit_process(core, pid);
+            return;
+        };
         let item = wl.next(&prev);
         self.procs.get_mut(pid).workload = Some(wl);
         match item {

@@ -30,6 +30,10 @@ echo "==> trace gate (codec round-trip, corruption recovery, record->replay bit-
 cargo test -q -p ktrace
 cargo run -q --release --example record_replay -- --quick
 
+echo "==> supervision gate (panic containment, deterministic restart, breakers, partial outcomes)"
+cargo test -q --test supervision
+cargo run -q --release --example supervision -- --quick
+
 echo "==> perf-smoke gate (ingest transports: SPSC ring >= 2x Mutex at N=64, drop ledger balanced)"
 cargo run -q --release -p kleb-bench --bin ingest_perf -- --quick
 
@@ -43,5 +47,7 @@ RUSTFLAGS="$KLOOM_FLAGS" CARGO_TARGET_DIR=target/kloom \
     cargo test -q -p kchan --test kloom_ring
 RUSTFLAGS="$KLOOM_FLAGS" CARGO_TARGET_DIR=target/kloom \
     cargo test -q -p fleet --test kloom_doorbell
+RUSTFLAGS="$KLOOM_FLAGS" CARGO_TARGET_DIR=target/kloom \
+    cargo test -q -p fleet --test kloom_restart
 
 echo "==> OK"

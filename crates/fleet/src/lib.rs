@@ -37,6 +37,7 @@ pub(crate) mod ksync;
 pub mod metrics;
 pub mod runner;
 pub mod store;
+pub mod supervisor;
 pub mod watchdog;
 
 pub use channel::{bounded, Backpressure, Batch, ChannelStats, Receiver, RecvTimeout, Sender};
@@ -48,4 +49,8 @@ pub use runner::{
     FleetConfig, FleetError, FleetOutcome, FleetRunner, MachineReport, MachineSpec, WorkloadFactory,
 };
 pub use store::{FleetStore, Lane, MachineSnapshot, Point, StoreStats, Window};
+pub use supervisor::{
+    backoff_delay_ns, panic_message, BreakerState, CircuitBreaker, FailureKind, HealthReport,
+    MachineFailure, SupervisedRun, SupervisorPolicy,
+};
 pub use watchdog::{StreamWatchdog, WatchdogEvent, WatchdogReport};

@@ -80,6 +80,10 @@ pub struct FleetMetrics {
     channel_depth_hwm: AtomicU64,
     stream_stalls: AtomicU64,
     stream_resumes: AtomicU64,
+    machine_restarts: AtomicU64,
+    machine_failures: AtomicU64,
+    machines_lost: AtomicU64,
+    breaker_trips: AtomicU64,
     /// Wall time from a batch leaving the queue to its samples resting in
     /// the store.
     drain_latency: LatencyHistogram,
@@ -117,6 +121,28 @@ impl FleetMetrics {
     /// Records one watchdog resume (a quarantined stream came back).
     pub fn add_resume(&self) {
         self.stream_resumes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds supervisor restarts (machines rebuilt after a panic).
+    pub fn add_restarts(&self, restarts: u64) {
+        self.machine_restarts.fetch_add(restarts, Ordering::Relaxed);
+    }
+
+    /// Adds recorded machine failures (panics, monitor errors, trace
+    /// I/O), across all attempts.
+    pub fn add_machine_failures(&self, failures: u64) {
+        self.machine_failures.fetch_add(failures, Ordering::Relaxed);
+    }
+
+    /// Records one machine lost for good (restart budget exhausted or a
+    /// non-retryable error).
+    pub fn add_machine_lost(&self) {
+        self.machines_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds circuit-breaker trips from the supervisor.
+    pub fn add_breaker_trips(&self, trips: u64) {
+        self.breaker_trips.fetch_add(trips, Ordering::Relaxed);
     }
 
     /// Raises the recorded fan-in depth high-water mark to `depth`.
@@ -159,6 +185,26 @@ impl FleetMetrics {
     /// Watchdog resumes so far.
     pub fn stream_resumes(&self) -> u64 {
         self.stream_resumes.load(Ordering::Relaxed)
+    }
+
+    /// Supervisor restarts so far.
+    pub fn machine_restarts(&self) -> u64 {
+        self.machine_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Recorded machine failures so far.
+    pub fn machine_failures(&self) -> u64 {
+        self.machine_failures.load(Ordering::Relaxed)
+    }
+
+    /// Machines lost for good so far.
+    pub fn machines_lost(&self) -> u64 {
+        self.machines_lost.load(Ordering::Relaxed)
+    }
+
+    /// Circuit-breaker trips so far.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker_trips.load(Ordering::Relaxed)
     }
 
     /// The drain-latency histogram.
@@ -204,6 +250,22 @@ impl FleetMetrics {
         t.row_owned(vec![
             "stream resumes".into(),
             self.stream_resumes().to_string(),
+        ]);
+        t.row_owned(vec![
+            "machine restarts".into(),
+            self.machine_restarts().to_string(),
+        ]);
+        t.row_owned(vec![
+            "machine failures".into(),
+            self.machine_failures().to_string(),
+        ]);
+        t.row_owned(vec![
+            "machines lost".into(),
+            self.machines_lost().to_string(),
+        ]);
+        t.row_owned(vec![
+            "breaker trips".into(),
+            self.breaker_trips().to_string(),
         ]);
         t.row_owned(vec!["drain latency p50".into(), lat(50.0)]);
         t.row_owned(vec!["drain latency p90".into(), lat(90.0)]);

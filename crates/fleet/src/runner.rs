@@ -24,9 +24,7 @@ use kleb::{KlebTuning, Monitor, MonitorOutcome, Sample, SampleSink};
 use ksim::{
     CoreId, Duration, Instant, Machine, MachineConfig, Pid, ProcessInfo, ProcessState, Workload,
 };
-use ktrace::{
-    stream_file_name, RecoveredStream, SharedWriter, StreamLedger, StreamMeta, TeeSink, TraceWriter,
-};
+use ktrace::{stream_file_name, RecoveredStream, StreamMeta};
 use pmu::{EventCounts, HwEvent};
 
 use crate::channel::{bounded, Backpressure, ChannelStats, RecvTimeout, Sender};
@@ -34,6 +32,10 @@ use crate::clock::{Clock, MonotonicClock};
 use crate::ingest::{ring_fanin, Polled, RingCollector, RingSender, Transport};
 use crate::metrics::FleetMetrics;
 use crate::store::FleetStore;
+use crate::supervisor::{
+    panic_message, supervise_machine, HealthReport, MachineFailure, MachineTask, SupervisedRun,
+    SupervisorPolicy,
+};
 use crate::watchdog::{StreamWatchdog, WatchdogEvent, WatchdogReport};
 
 // The whole pipeline hinges on machines being buildable and runnable off
@@ -45,7 +47,10 @@ const _: () = {
 };
 
 /// Builds a workload inside the machine's thread, from the spec's seed.
-pub type WorkloadFactory = Box<dyn FnOnce(u64) -> Box<dyn Workload> + Send>;
+///
+/// `Fn`, not `FnOnce`: the supervisor rebuilds the workload on every
+/// restart attempt, so the factory must be re-invokable.
+pub type WorkloadFactory = Box<dyn Fn(u64) -> Box<dyn Workload> + Send>;
 
 /// One machine of the fleet.
 pub struct MachineSpec {
@@ -62,7 +67,7 @@ impl MachineSpec {
     pub fn new(
         label: impl Into<String>,
         seed: u64,
-        workload: impl FnOnce(u64) -> Box<dyn Workload> + Send + 'static,
+        workload: impl Fn(u64) -> Box<dyn Workload> + Send + 'static,
     ) -> Self {
         Self {
             label: label.into(),
@@ -123,6 +128,11 @@ pub struct FleetConfig {
     /// drop ledger and the controller's recovery stats. `None` records
     /// nothing.
     pub persist_dir: Option<PathBuf>,
+    /// Restart budget, backoff and circuit-breaker tuning for the
+    /// per-machine supervisor. The default allows 3 restarts; see
+    /// [`crate::supervisor`] for the determinism contract (a clean run
+    /// never touches any of it).
+    pub supervision: SupervisorPolicy,
 }
 
 impl FleetConfig {
@@ -144,6 +154,7 @@ impl FleetConfig {
             stall_timeout: std::time::Duration::from_secs(2),
             clock: Arc::new(MonotonicClock::new()),
             persist_dir: None,
+            supervision: SupervisorPolicy::default(),
         }
     }
 
@@ -213,26 +224,47 @@ impl FleetConfig {
         self.persist_dir = Some(dir.into());
         self
     }
+
+    /// Overrides the supervision policy (restart budget, backoff,
+    /// circuit breaker).
+    pub fn supervise(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervision = policy;
+        self
+    }
 }
 
 /// Why a fleet run failed.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A single machine failure is no longer fatal: the supervisor records
+/// it in the machine's [`HealthReport`] and the run succeeds partially.
+/// `Machines` is returned only when *every* machine failed — and then it
+/// aggregates every recorded failure, not just the first one.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FleetError {
-    /// One machine's monitor failed; the rest of the fleet was joined
-    /// before returning.
-    Machine {
-        /// The failing spec's label.
-        label: String,
-        /// The underlying monitor error (or panic message).
+    /// Pre-flight setup failed before any machine ran (e.g. the persist
+    /// directory could not be created).
+    Setup {
+        /// What went wrong.
         error: String,
+    },
+    /// No machine survived. Every failure across the fleet, in spec
+    /// order then attempt order.
+    Machines {
+        /// The full failure list, causes preserved.
+        failures: Vec<MachineFailure>,
     },
 }
 
 impl std::fmt::Display for FleetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FleetError::Machine { label, error } => {
-                write!(f, "machine '{label}' failed: {error}")
+            FleetError::Setup { error } => write!(f, "fleet setup failed: {error}"),
+            FleetError::Machines { failures } => {
+                write!(f, "all machines failed ({} failures)", failures.len())?;
+                for failure in failures {
+                    write!(f, "\n  {failure}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -256,8 +288,12 @@ pub struct MachineReport {
 pub struct FleetOutcome {
     /// The populated sample store.
     pub store: FleetStore,
-    /// Per-machine reports, spec order.
+    /// Per-machine reports, spec order. Failed machines get an outline
+    /// report over the samples that reached the collector, so this is
+    /// always the same length as the spec list.
     pub machines: Vec<MachineReport>,
+    /// Per-machine supervision health, parallel to `machines`.
+    pub health: Vec<HealthReport>,
     /// Channel counters (per-stream sent/dropped/delivered, depth HWM).
     pub channel: ChannelStats,
     /// The collector's self-metrics.
@@ -273,6 +309,47 @@ impl FleetOutcome {
     /// Renders the self-metrics table.
     pub fn metrics_table(&self) -> String {
         self.metrics.render(self.elapsed)
+    }
+
+    /// True when every machine finished clean: no restarts, no
+    /// failures, no tripped breakers.
+    pub fn all_healthy(&self) -> bool {
+        self.health.iter().all(HealthReport::is_healthy)
+    }
+
+    /// Machines that were lost for good (restart budget exhausted or a
+    /// non-retryable error), spec order.
+    pub fn failed_machines(&self) -> Vec<usize> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.failed)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders the per-machine health table: status, restarts,
+    /// failures, breaker history.
+    pub fn health_table(&self) -> String {
+        let mut t = analysis::TextTable::new(&[
+            "machine",
+            "status",
+            "restarts",
+            "failures",
+            "breaker trips",
+            "samples",
+        ]);
+        for (report, health) in self.machines.iter().zip(&self.health) {
+            t.row_owned(vec![
+                report.label.clone(),
+                health.summary(),
+                health.restarts.to_string(),
+                health.failure_count.to_string(),
+                health.breaker_trips.to_string(),
+                report.outcome.samples.len().to_string(),
+            ]);
+        }
+        t.render()
     }
 
     /// A byte digest of everything a run produced that is *deterministic
@@ -292,7 +369,7 @@ impl FleetOutcome {
         }
         let mut out = Vec::new();
         u64s(&mut out, &[self.machines.len() as u64]);
-        for report in &self.machines {
+        for (index, report) in self.machines.iter().enumerate() {
             out.extend_from_slice(report.label.as_bytes());
             out.push(0);
             u64s(
@@ -330,6 +407,22 @@ impl FleetOutcome {
                     rec.degraded as u64,
                 ],
             );
+            // Supervision health: the counts and final breaker state are
+            // persisted in the ledger and must survive record → replay.
+            // Failure *messages* are deliberately excluded — they are not
+            // reconstructible from a trace.
+            if let Some(h) = self.health.get(index) {
+                u64s(
+                    &mut out,
+                    &[
+                        u64::from(h.restarts),
+                        u64::from(h.failure_count),
+                        u64::from(h.breaker_trips),
+                        u64::from(h.breaker_state.tag()),
+                        u64::from(h.failed),
+                    ],
+                );
+            }
         }
         for machine in 0..self.machines.len() {
             for lane in self.store.machine_snapshot(machine) {
@@ -353,13 +446,13 @@ impl FleetOutcome {
 
 /// One stream's sending end, whichever transport is configured.
 #[derive(Debug)]
-enum StreamTx {
+pub(crate) enum StreamTx {
     Mutex(Sender),
     Ring(RingSender),
 }
 
 impl StreamTx {
-    fn send(&mut self, samples: &[Sample]) {
+    pub(crate) fn send(&mut self, samples: &[Sample]) {
         match self {
             StreamTx::Mutex(tx) => tx.send(samples.to_vec()),
             StreamTx::Ring(tx) => tx.send(samples),
@@ -452,12 +545,17 @@ impl FleetRunner {
     /// Runs every spec to completion, collecting samples concurrently.
     ///
     /// Blocks until all machine threads have exited and the channel is
-    /// fully drained.
+    /// fully drained. Every machine runs under the configured
+    /// [`SupervisorPolicy`]: panics are contained, restarts consume the
+    /// budget, and a terminal failure degrades the outcome instead of
+    /// discarding it — see [`crate::supervisor`].
     ///
     /// # Errors
     ///
-    /// [`FleetError::Machine`] for the first machine whose monitor
-    /// failed or whose thread panicked (all threads are joined first).
+    /// [`FleetError::Setup`] if pre-flight setup fails;
+    /// [`FleetError::Machines`] only when **no** machine survived (the
+    /// aggregated failure list covers every machine and attempt). Any
+    /// surviving stream yields `Ok` with per-machine [`HealthReport`]s.
     ///
     /// # Panics
     ///
@@ -467,8 +565,7 @@ impl FleetRunner {
         let n = specs.len();
         if let Some(dir) = &self.config.persist_dir {
             if let Err(e) = std::fs::create_dir_all(dir) {
-                return Err(FleetError::Machine {
-                    label: "<persist>".to_string(),
+                return Err(FleetError::Setup {
                     error: format!("cannot create trace directory {}: {e}", dir.display()),
                 });
             }
@@ -481,59 +578,33 @@ impl FleetRunner {
             let tx = senders_iter.next().expect("one sender per spec");
             let monitor =
                 Monitor::new(&self.config.events, self.config.period).tuning(self.config.tuning);
-            let machine_config = self.config.machine_config;
-            let faults = self.config.faults;
             let label = spec.label.clone();
+            let seed = spec.seed;
             let trace_path = self
                 .config
                 .persist_dir
                 .as_ref()
                 .map(|dir| dir.join(stream_file_name(index, &spec.label)));
-            let meta = StreamMeta {
-                label: spec.label.clone(),
-                seed: spec.seed,
-                period_ns: self.config.period.as_nanos(),
-                events: self.config.events.clone(),
+            let task = MachineTask {
+                label: spec.label,
+                seed,
+                monitor,
+                machine_config: self.config.machine_config,
+                faults: self.config.faults,
+                workload: spec.workload,
+                policy: self.config.supervision,
+                clock: Arc::clone(&self.config.clock),
+                tx,
+                trace_path,
+                meta: StreamMeta {
+                    label: label.clone(),
+                    seed,
+                    period_ns: self.config.period.as_nanos(),
+                    events: self.config.events.clone(),
+                },
             };
-            let handle = std::thread::spawn(move || {
-                let mut config = machine_config(spec.seed);
-                if let Some(plan) = faults {
-                    config.faults = plan;
-                }
-                let mut machine = Machine::new(config);
-                let workload = (spec.workload)(spec.seed);
-                // With persistence on, the channel sink is teed through a
-                // shared trace writer; the handle stays here so the stream
-                // can be sealed with the run's final ledger.
-                let mut trace: Option<SharedWriter<std::fs::File>> = None;
-                let sink: Box<dyn SampleSink> = match &trace_path {
-                    Some(path) => {
-                        let writer = TraceWriter::create(path, &meta).map_err(|e| e.to_string())?;
-                        let shared = SharedWriter::new(writer);
-                        trace = Some(shared.clone());
-                        Box::new(TeeSink::tee(shared, Box::new(ChannelSink { tx })))
-                    }
-                    None => Box::new(ChannelSink { tx }),
-                };
-                let outcome = monitor
-                    .run_with_sink(&mut machine, &spec.label, workload, sink)
-                    .map_err(|e| e.to_string())?;
-                if let Some(shared) = trace {
-                    shared
-                        .finish(&StreamLedger {
-                            samples_written: 0, // the writer fills in its own count
-                            status: outcome.status,
-                            recovery: outcome.recovery,
-                        })
-                        .map_err(|e| e.to_string())?;
-                }
-                Ok::<MachineReport, String>(MachineReport {
-                    label: spec.label,
-                    seed: spec.seed,
-                    outcome,
-                })
-            });
-            handles.push((label, handle));
+            let handle = std::thread::spawn(move || supervise_machine(task));
+            handles.push((label, seed, handle));
         }
         drop(senders_iter);
 
@@ -557,7 +628,7 @@ impl FleetRunner {
     ///
     /// # Errors
     ///
-    /// [`FleetError::Machine`] if a replay thread panics.
+    /// [`FleetError::Machines`] if every replay thread panics.
     ///
     /// # Panics
     ///
@@ -571,15 +642,25 @@ impl FleetRunner {
         for stream in streams {
             let tx = senders_iter.next().expect("one sender per stream");
             let label = stream.meta.label.clone();
+            let seed = stream.meta.seed;
             let handle = std::thread::spawn(move || {
                 let mut sink = ChannelSink { tx };
                 for batch in stream.batches() {
                     sink.on_batch(batch);
                 }
                 drop(sink);
-                Ok::<MachineReport, String>(replayed_report(stream))
+                // Health comes back from the persisted ledger (counts
+                // and breaker state; messages are not recorded), so the
+                // replayed digest covers exactly what the live one did.
+                let health = HealthReport::from_stream_health(
+                    stream.ledger.as_ref().map(|l| l.health).unwrap_or_default(),
+                );
+                SupervisedRun {
+                    report: replayed_report(stream),
+                    health,
+                }
             });
-            handles.push((label, handle));
+            handles.push((label, seed, handle));
         }
         drop(senders_iter);
 
@@ -593,10 +674,7 @@ impl FleetRunner {
         &self,
         n: usize,
         mut receiver: FanIn,
-        handles: Vec<(
-            String,
-            std::thread::JoinHandle<Result<MachineReport, String>>,
-        )>,
+        handles: Vec<(String, u64, std::thread::JoinHandle<SupervisedRun>)>,
     ) -> Result<FleetOutcome, FleetError> {
         let metrics = Arc::new(FleetMetrics::new());
         let mut store = FleetStore::new(n, self.config.events.clone(), self.config.shard_capacity);
@@ -653,23 +731,48 @@ impl FleetRunner {
         let elapsed = std::time::Duration::from_nanos(clock.now_ns().saturating_sub(started_ns));
 
         let mut machines = Vec::with_capacity(n);
-        let mut first_error = None;
-        for (label, handle) in handles {
+        let mut health = Vec::with_capacity(n);
+        for (label, seed, handle) in handles {
             match handle.join() {
-                Ok(Ok(report)) => machines.push(report),
-                Ok(Err(error)) => {
-                    first_error.get_or_insert(FleetError::Machine { label, error });
+                Ok(run) => {
+                    machines.push(run.report);
+                    health.push(run.health);
                 }
-                Err(_) => {
-                    first_error.get_or_insert(FleetError::Machine {
-                        label,
-                        error: "machine thread panicked".to_string(),
-                    });
+                Err(payload) => {
+                    // The supervisor itself panicked — a bug, not an
+                    // injected fault (those are contained inside it).
+                    // Preserve the payload and keep the fleet's shape:
+                    // one report and one health entry per spec, always.
+                    let failure = MachineFailure {
+                        label: label.clone(),
+                        attempt: 0,
+                        kind: crate::supervisor::FailureKind::Panic,
+                        message: panic_message(payload),
+                    };
+                    machines.push(outline_report(
+                        &label,
+                        seed,
+                        self.config.events.clone(),
+                        Vec::new(),
+                    ));
+                    health.push(HealthReport::failed_with(vec![failure]));
                 }
             }
         }
-        if let Some(err) = first_error {
-            return Err(err);
+        if health.iter().all(|h| h.failed) {
+            return Err(FleetError::Machines {
+                failures: health.into_iter().flat_map(|h| h.failures).collect(),
+            });
+        }
+
+        // Supervision counters feed the pipeline's self-metrics.
+        for h in &health {
+            metrics.add_restarts(u64::from(h.restarts));
+            metrics.add_breaker_trips(u64::from(h.breaker_trips));
+            metrics.add_machine_failures(u64::from(h.failure_count));
+            if h.failed {
+                metrics.add_machine_lost();
+            }
         }
 
         let channel = receiver.stats();
@@ -679,6 +782,7 @@ impl FleetRunner {
         Ok(FleetOutcome {
             store,
             machines,
+            health,
             channel,
             metrics,
             watchdog: watchdog.report(),
@@ -694,21 +798,7 @@ impl FleetRunner {
 /// reconstructed.
 fn replayed_report(stream: RecoveredStream) -> MachineReport {
     let ledger = stream.ledger.unwrap_or_default();
-    let last_ts = stream.samples.last().map_or(0, |s| s.timestamp_ns);
-    let pid = stream.samples.first().map_or(0, |s| s.pid);
-    let target = ProcessInfo {
-        pid: Pid(pid),
-        ppid: None,
-        name: stream.meta.label.clone(),
-        state: ProcessState::Exited,
-        core: CoreId(0),
-        spawned_at: Instant::ZERO,
-        exited_at: Some(Instant::from_nanos(last_ts)),
-        cpu_user: Duration::ZERO,
-        cpu_kernel: Duration::ZERO,
-        true_user_events: EventCounts::new(),
-        true_kernel_events: EventCounts::new(),
-    };
+    let target = outline_target(&stream.meta.label, &stream.samples);
     MachineReport {
         label: stream.meta.label.clone(),
         seed: stream.meta.seed,
@@ -718,6 +808,51 @@ fn replayed_report(stream: RecoveredStream) -> MachineReport {
             status: ledger.status,
             events: stream.meta.events,
             recovery: ledger.recovery,
+        },
+    }
+}
+
+/// An outline of the monitored process reconstructed from its samples
+/// alone — identity and lifetime, no ground-truth counters. Used for
+/// replayed streams and for machines that failed under supervision
+/// (where the final incarnation's `MonitorOutcome` never existed).
+fn outline_target(label: &str, samples: &[Sample]) -> ProcessInfo {
+    let last_ts = samples.last().map_or(0, |s| s.timestamp_ns);
+    let pid = samples.first().map_or(0, |s| s.pid);
+    ProcessInfo {
+        pid: Pid(pid),
+        ppid: None,
+        name: label.to_string(),
+        state: ProcessState::Exited,
+        core: CoreId(0),
+        spawned_at: Instant::ZERO,
+        exited_at: Some(Instant::from_nanos(last_ts)),
+        cpu_user: Duration::ZERO,
+        cpu_kernel: Duration::ZERO,
+        true_user_events: EventCounts::new(),
+        true_kernel_events: EventCounts::new(),
+    }
+}
+
+/// The [`MachineReport`] of a machine that never completed a monitor
+/// run: defaulted status and recovery ledgers (matching what the sealed
+/// trace records for it) over the samples that did reach the collector.
+pub(crate) fn outline_report(
+    label: &str,
+    seed: u64,
+    events: Vec<HwEvent>,
+    samples: Vec<Sample>,
+) -> MachineReport {
+    let target = outline_target(label, &samples);
+    MachineReport {
+        label: label.to_string(),
+        seed,
+        outcome: MonitorOutcome {
+            samples,
+            target,
+            status: Default::default(),
+            events,
+            recovery: Default::default(),
         },
     }
 }
@@ -777,9 +912,12 @@ mod tests {
     }
 
     #[test]
-    fn failing_machine_surfaces_as_fleet_error() {
+    fn all_machines_failing_surfaces_every_failure() {
         let mut specs: Vec<MachineSpec> = (0..2).map(spec).collect();
-        // Five events on four counters: the controller's config ioctl fails.
+        // Five events on four counters: the controller's config ioctl fails
+        // on every machine — a deterministic, non-retryable error, so the
+        // whole fleet is lost and every failure must be aggregated (not
+        // just the first, as the old single-error path did).
         let bad = FleetConfig::new(
             &[
                 HwEvent::Load,
@@ -793,8 +931,16 @@ mod tests {
         .machine(MachineConfig::test_tiny);
         specs.truncate(2);
         let err = FleetRunner::new(bad).run(specs).unwrap_err();
-        let FleetError::Machine { error, .. } = err;
-        assert!(error.contains("controller"), "got: {error}");
+        let FleetError::Machines { failures } = err else {
+            panic!("expected the aggregate variant, got: {err}");
+        };
+        assert_eq!(failures.len(), 2, "one failure per machine: {failures:?}");
+        for (i, failure) in failures.iter().enumerate() {
+            assert_eq!(failure.label, format!("m{i}"));
+            assert_eq!(failure.kind, crate::supervisor::FailureKind::Monitor);
+            assert_eq!(failure.attempt, 0, "monitor errors are never retried");
+            assert!(failure.message.contains("controller"), "{failure}");
+        }
     }
 
     #[test]

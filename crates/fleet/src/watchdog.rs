@@ -140,6 +140,7 @@ impl StreamWatchdog {
             stalls: self.streams.iter().map(|s| s.stalls).collect(),
             resumes: self.streams.iter().map(|s| s.resumes).collect(),
             quarantined_at_end: self.quarantined(),
+            done: self.streams.iter().map(|s| s.done).collect(),
         }
     }
 }
@@ -153,6 +154,10 @@ pub struct WatchdogReport {
     pub resumes: Vec<u64>,
     /// Streams still quarantined when the run ended (never recovered).
     pub quarantined_at_end: Vec<usize>,
+    /// Per-stream: was the final sample seen? A `false` entry after the
+    /// run ends means the stream died without closing — e.g. a machine
+    /// whose supervisor gave up on it.
+    pub done: Vec<bool>,
 }
 
 impl WatchdogReport {
@@ -170,6 +175,17 @@ impl WatchdogReport {
     /// left quarantined.
     pub fn all_recovered(&self) -> bool {
         self.quarantined_at_end.is_empty()
+    }
+
+    /// Streams that never delivered their final sample — dead without
+    /// closing, as opposed to merely slow.
+    pub fn unfinished_streams(&self) -> Vec<usize> {
+        self.done
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| !d)
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 

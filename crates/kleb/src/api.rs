@@ -106,6 +106,7 @@ pub struct Monitor {
     target_core: CoreId,
     controller_core: CoreId,
     drain_interval: Option<Duration>,
+    resume_base: Option<(u64, u64)>,
 }
 
 impl Monitor {
@@ -122,6 +123,7 @@ impl Monitor {
             target_core: CoreId(0),
             controller_core: CoreId(1),
             drain_interval: None,
+            resume_base: None,
         }
     }
 
@@ -159,6 +161,17 @@ impl Monitor {
     /// Overrides the controller's drain interval.
     pub fn drain_interval(mut self, interval: Duration) -> Self {
         self.drain_interval = Some(interval);
+        self
+    }
+
+    /// Makes this session a **restart re-entry** continuing an interrupted
+    /// stream: every sample is rebased by `seq_base` / `ts_base_ns` as it
+    /// is decoded, and the first sample is flagged `gap` (whatever the
+    /// dead incarnation had in flight is lost, and the ledger says so).
+    /// Supervisors pass the last observed seq + 1 and the last observed
+    /// timestamp so the merged series stays strictly ordered.
+    pub fn resume_from(mut self, seq_base: u64, ts_base_ns: u64) -> Self {
+        self.resume_base = Some((seq_base, ts_base_ns));
         self
     }
 
@@ -237,6 +250,9 @@ impl Monitor {
         let mut controller_workload = Controller::new(device, cfg, target, drain, report.clone());
         if !resume_target {
             controller_workload = controller_workload.attach_running();
+        }
+        if let Some((seq_base, ts_base_ns)) = self.resume_base {
+            controller_workload = controller_workload.resume_from(seq_base, ts_base_ns);
         }
         if let Some(sink) = sink {
             controller_workload = controller_workload.with_sink(sink);

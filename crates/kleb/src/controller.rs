@@ -150,6 +150,28 @@ pub struct Controller {
     last_dropped: u64,
     /// Period doublings issued so far.
     doublings: u32,
+    /// Rebase applied to every decoded sample (restart re-entry). `None`
+    /// for a first run — the zero-cost common case.
+    resume_base: Option<ResumeBase>,
+}
+
+/// Sequence/timestamp rebase for a monitor re-entered after a crash: the
+/// restarted module restarts its `seq` space at 0 and its timestamps near
+/// machine power-on, but the *stream* this controller feeds continues an
+/// older one. Rebasing on decode keeps downstream ledgers closed: seqs
+/// stay strictly increasing across the restart (the hole between the last
+/// pre-crash seq and the first rebased one is a normal accounted gap) and
+/// timestamps stay monotonic per stream.
+#[derive(Debug, Clone, Copy)]
+struct ResumeBase {
+    /// Added to every decoded `seq`.
+    seq: u64,
+    /// Added to every decoded `timestamp_ns`.
+    ts_ns: u64,
+    /// True until the first post-restart sample is decoded: that sample
+    /// carries `gap = true`, because whatever was in flight when the
+    /// previous incarnation died is lost.
+    gap_pending: bool,
 }
 
 impl Controller {
@@ -177,6 +199,7 @@ impl Controller {
             last_taken: None,
             last_dropped: 0,
             doublings: 0,
+            resume_base: None,
         }
     }
 
@@ -190,6 +213,20 @@ impl Controller {
     /// i.e. attaching to a live process as §III describes).
     pub fn attach_running(mut self) -> Self {
         self.resume_target = false;
+        self
+    }
+
+    /// Continues an interrupted stream: every decoded sample gets
+    /// `seq_base` added to its sequence number and `ts_base_ns` to its
+    /// timestamp, and the first sample is flagged as following a gap. Used
+    /// by supervisors re-entering a monitor after the previous incarnation
+    /// crashed (see the [`ResumeBase`] doc for why ledgers stay closed).
+    pub fn resume_from(mut self, seq_base: u64, ts_base_ns: u64) -> Self {
+        self.resume_base = Some(ResumeBase {
+            seq: seq_base,
+            ts_ns: ts_base_ns,
+            gap_pending: true,
+        });
         self
     }
 
@@ -236,6 +273,21 @@ impl Controller {
     fn backoff(&self, attempt: u32) -> Duration {
         let base_ns = (self.drain_interval.as_nanos() / 16).max(10_000);
         Duration::from_nanos(base_ns << attempt.min(6))
+    }
+
+    /// Applies the resume rebase (no-op on a first run).
+    fn rebase(&mut self, samples: &mut [Sample]) {
+        let Some(base) = &mut self.resume_base else {
+            return;
+        };
+        for s in samples.iter_mut() {
+            s.seq = s.seq.wrapping_add(base.seq);
+            s.timestamp_ns = s.timestamp_ns.wrapping_add(base.ts_ns);
+            if base.gap_pending {
+                s.gap = true;
+                base.gap_pending = false;
+            }
+        }
     }
 }
 
@@ -296,7 +348,8 @@ impl Workload for Controller {
                     }
                     self.drain_attempt = 0;
                     let drained = if let ItemResult::Syscall { payload, .. } = prev {
-                        let samples = Sample::decode_all(payload);
+                        let mut samples = Sample::decode_all(payload);
+                        self.rebase(&mut samples);
                         let n = samples.len();
                         if n > 0 {
                             if let Some(sink) = &mut self.sink {
@@ -402,7 +455,8 @@ impl Workload for Controller {
                     }
                     if let ItemResult::Syscall { payload, retval } = prev {
                         if *retval > 0 {
-                            let samples = Sample::decode_all(payload);
+                            let mut samples = Sample::decode_all(payload);
+                            self.rebase(&mut samples);
                             if !samples.is_empty() {
                                 if let Some(sink) = &mut self.sink {
                                     sink.on_batch(&samples);

@@ -3,7 +3,7 @@
 //! | Rule | Invariant | Scope |
 //! |------|-----------|-------|
 //! | `D1` | no wall-clock / unseeded RNG (`SystemTime::now`, `Instant::now`, argless `thread_rng()`, `from_entropy()`, `rand::random()`) — simulated time comes from `ksim::time`, randomness from seeded `StdRng` | `pmu`, `ksim`, `memsim`, `kleb`, `workloads`, `fleet`, `ktrace`, `kchan` |
-//! | `D2` | no `unwrap()` / `expect()` in library code — use typed errors | `pmu`, `ksim`, `kleb`, `ktrace`, `kchan` (non-test) |
+//! | `D2` | no `unwrap()` / `expect()` in library code — use typed errors | `pmu`, `ksim`, `kleb`, `ktrace`, `kchan` (non-test); plus `fleet/src/supervisor.rs`, the one fleet file opted in file-by-file |
 //! | `D3` | no `Ordering::Relaxed` on atomics that gate cross-thread data visibility | `fleet`, `kchan` (allowlists: `fleet/src/metrics.rs` pure counters; `kchan/src/ring.rs`, the documented ordering-protocol module) |
 //! | `M1` | `wrmsr`/`rdmsr` call sites name a `pmu::msr` constant, never a bare integer MSR address | all crates (non-test) |
 //! | `U1` | every `unsafe` block/fn/impl is preceded by a `// SAFETY:` comment (or a `/// # Safety` doc section) justifying it | all crates |
@@ -99,6 +99,28 @@ impl Rule {
         // library code that ships. U1 applies to tests too — unsafe in a
         // test still needs its justification.
         matches!(self, Rule::D2 | Rule::M1 | Rule::A1)
+    }
+
+    /// Per-file opt-ins baked into the rule definition: files whose
+    /// crate is outside the rule's scope but which must be scanned
+    /// anyway.
+    pub fn includes_file(self, rel_path: &str) -> bool {
+        match self {
+            // The supervision layer is the code that *contains* other
+            // threads' panics — a panic of its own (an unwrap on a
+            // poisoned lock, say) forfeits containment and takes the
+            // whole partial-outcome contract with it. The rest of
+            // `fleet` stays outside D2, but this file holds the bar.
+            Rule::D2 => rel_path == "crates/fleet/src/supervisor.rs",
+            _ => false,
+        }
+    }
+
+    /// Whether this rule scans `rel_path`: in crate scope (or opted in
+    /// file-by-file) and not on the per-file allowlist.
+    pub fn in_scope(self, rel_path: &str, crate_name: Option<&str>) -> bool {
+        (self.applies_to_crate(crate_name) || self.includes_file(rel_path))
+            && !self.allows_file(rel_path)
     }
 
     /// Per-file allowlist baked into the rule definition.
@@ -244,7 +266,7 @@ pub fn check_tokens(
     let spans = test_spans(lexed);
     let mut out = Vec::new();
     for rule in ALL_RULES {
-        if !rule.applies_to_crate(crate_name) || rule.allows_file(rel_path) {
+        if !rule.in_scope(rel_path, crate_name) {
             continue;
         }
         if rule.skips_tests() && in_tests_dir {

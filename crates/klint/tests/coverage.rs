@@ -76,6 +76,30 @@ fn every_workspace_crate_is_scoped_by_some_rule() {
     }
 }
 
+/// The supervision layer contains other threads' panics; its own code
+/// must satisfy every determinism rule, including D2 — which the rest
+/// of `fleet` is not held to. Guards the file-level opt-in in rules.rs
+/// (and that the file it names still exists).
+#[test]
+fn supervisor_is_scanned_by_every_determinism_rule() {
+    let rel_path = "crates/fleet/src/supervisor.rs";
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    assert!(
+        root.join(rel_path).is_file(),
+        "{rel_path} moved — update the D2 opt-in in rules.rs"
+    );
+    for rule in [Rule::D1, Rule::D2, Rule::D3] {
+        assert!(
+            rule.in_scope(rel_path, Some("fleet")),
+            "{} must scan {rel_path}",
+            rule.name()
+        );
+    }
+    // The opt-in widens scope for that one file only: the rest of the
+    // crate keeps its crate-level posture.
+    assert!(!Rule::D2.in_scope("crates/fleet/src/runner.rs", Some("fleet")));
+}
+
 #[test]
 fn determinism_exemptions_are_documented_and_current() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");

@@ -32,6 +32,10 @@ use rand::{Rng, SeedableRng};
 /// Arbitrary odd constant; only stability matters.
 const FAULT_SEED_SALT: u64 = 0xC4A0_5F17_9E37_79B9;
 
+/// Salt multiplied into the restart-attempt number (see
+/// [`FaultState::for_attempt`]). Arbitrary odd constant.
+const ATTEMPT_SEED_SALT: u64 = 0x9E6C_63D0_985B_2C35;
+
 /// One class of injectable fault. Used both to draw (“does this fault fire
 /// here?”) and to index per-class counters in [`FaultStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,10 +65,16 @@ pub enum FaultClass {
     /// A drain syscall is slow: extra kernel cycles are charged before
     /// the device copies records out.
     DrainSlow,
+    /// The monitoring thread itself dies: a simulated software crash in
+    /// the collector path (the failure a fleet supervisor exists to
+    /// contain). When drawn at a timer expiry the machine `panic!`s with
+    /// a deterministic message; `fleet::supervisor` catches the unwind,
+    /// books a typed `MachineFailure`, and restarts within budget.
+    ThreadPanic,
 }
 
 /// Number of [`FaultClass`] variants (array-index bound for stats).
-pub const NUM_FAULT_CLASSES: usize = 8;
+pub const NUM_FAULT_CLASSES: usize = 9;
 
 impl FaultClass {
     /// Stable per-class index into [`FaultStats`].
@@ -78,6 +88,7 @@ impl FaultClass {
             FaultClass::RingSlot => 5,
             FaultClass::DrainFail => 6,
             FaultClass::DrainSlow => 7,
+            FaultClass::ThreadPanic => 8,
         }
     }
 
@@ -91,6 +102,7 @@ impl FaultClass {
         FaultClass::RingSlot,
         FaultClass::DrainFail,
         FaultClass::DrainSlow,
+        FaultClass::ThreadPanic,
     ];
 
     /// Short stable name (report/table rows).
@@ -104,6 +116,7 @@ impl FaultClass {
             FaultClass::RingSlot => "ring_slot",
             FaultClass::DrainFail => "drain_fail",
             FaultClass::DrainSlow => "drain_slow",
+            FaultClass::ThreadPanic => "thread_panic",
         }
     }
 }
@@ -150,6 +163,12 @@ pub struct FaultPlan {
     pub drain_slow_rate: f64,
     /// Extra kernel cycles charged on a slow drain.
     pub drain_slow_cycles: u64,
+    /// Probability the monitoring thread panics, drawn once per hrtimer
+    /// expiry. **Process-fatal without supervision** — deliberately *not*
+    /// part of [`FaultPlan::chaos`], since chaos plans are also run
+    /// through unsupervised single-machine monitors; opt in with
+    /// [`FaultPlan::thread_panic`] / [`FaultPlan::with_thread_panic`].
+    pub thread_panic_rate: f64,
 }
 
 impl FaultPlan {
@@ -168,6 +187,7 @@ impl FaultPlan {
         drain_fail_rate: 0.0,
         drain_slow_rate: 0.0,
         drain_slow_cycles: 0,
+        thread_panic_rate: 0.0,
     };
 
     /// A balanced all-class plan scaled by `intensity` in `[0, 1]`:
@@ -190,6 +210,8 @@ impl FaultPlan {
             drain_fail_rate: p / 2.0,
             drain_slow_rate: p,
             drain_slow_cycles: 5_000,
+            // Process-fatal; never enabled implicitly (see the field doc).
+            thread_panic_rate: 0.0,
         }
     }
 
@@ -198,6 +220,25 @@ impl FaultPlan {
         FaultPlan {
             ring_pressure: p.clamp(0.0, 1.0),
             ..FaultPlan::NONE
+        }
+    }
+
+    /// Thread-panic-only plan: each hrtimer expiry kills the monitoring
+    /// thread with probability `p`. Only meaningful under a supervisor
+    /// that contains the unwind (`fleet::supervisor`).
+    pub fn thread_panic(p: f64) -> FaultPlan {
+        FaultPlan {
+            thread_panic_rate: p.clamp(0.0, 1.0),
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Returns this plan with the thread-panic rate set to `p` — the way
+    /// to compose crash testing with a [`FaultPlan::chaos`] base.
+    pub fn with_thread_panic(self, p: f64) -> FaultPlan {
+        FaultPlan {
+            thread_panic_rate: p.clamp(0.0, 1.0),
+            ..self
         }
     }
 
@@ -212,6 +253,7 @@ impl FaultPlan {
             FaultClass::RingSlot => self.ring_pressure,
             FaultClass::DrainFail => self.drain_fail_rate,
             FaultClass::DrainSlow => self.drain_slow_rate,
+            FaultClass::ThreadPanic => self.thread_panic_rate,
         }
     }
 
@@ -272,9 +314,22 @@ impl FaultState {
     /// machine `seed` (salted so it never shares a stream with the jitter
     /// RNG).
     pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        Self::for_attempt(plan, seed, 0)
+    }
+
+    /// Like [`FaultState::new`], but additionally salts the RNG with a
+    /// restart `attempt` number. Attempt 0 is bit-identical to
+    /// [`FaultState::new`]; each later attempt gets a deterministic but
+    /// *different* fault stream. Without this, a supervisor restarting a
+    /// machine after an injected [`FaultClass::ThreadPanic`] would replay
+    /// the identical draw sequence and crash at the same instant forever —
+    /// with it, retries make progress while the whole run (including every
+    /// crash point) stays a pure function of `(plan, seed)`.
+    pub fn for_attempt(plan: FaultPlan, seed: u64, attempt: u32) -> Self {
+        let salt = FAULT_SEED_SALT ^ u64::from(attempt).wrapping_mul(ATTEMPT_SEED_SALT);
         Self {
             plan,
-            rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
+            rng: StdRng::seed_from_u64(seed ^ salt),
             frozen: BTreeMap::new(),
             stats: FaultStats::default(),
         }
@@ -403,6 +458,42 @@ mod tests {
         assert!(p.timer_miss_rate > 0.0 && p.timer_miss_rate < 0.1);
         // Intensity clamps.
         assert!(FaultPlan::chaos(7.0).ring_pressure <= 1.0);
+    }
+
+    #[test]
+    fn thread_panic_stays_out_of_chaos_and_composes_explicitly() {
+        // chaos() must never enable the process-fatal class implicitly:
+        // unsupervised monitors run chaos plans directly.
+        assert_eq!(FaultPlan::chaos(1.0).thread_panic_rate, 0.0);
+        let plan = FaultPlan::chaos(0.2).with_thread_panic(0.05);
+        assert!((plan.thread_panic_rate - 0.05).abs() < 1e-12);
+        assert!((plan.ring_pressure - 0.2).abs() < 1e-12, "base preserved");
+        assert!(FaultPlan::thread_panic(0.5).is_active());
+        assert_eq!(
+            FaultPlan::thread_panic(0.5).rate(FaultClass::ThreadPanic),
+            0.5
+        );
+    }
+
+    #[test]
+    fn attempt_salt_diverges_but_attempt_zero_matches_new() {
+        let plan = FaultPlan::chaos(0.3);
+        let draws = |st: &mut FaultState| -> Vec<bool> {
+            (0..256).map(|_| st.fires(FaultClass::RingSlot)).collect()
+        };
+        let base = draws(&mut FaultState::new(plan, 11));
+        assert_eq!(
+            base,
+            draws(&mut FaultState::for_attempt(plan, 11, 0)),
+            "attempt 0 must be bit-identical to FaultState::new"
+        );
+        let retry = draws(&mut FaultState::for_attempt(plan, 11, 1));
+        assert_ne!(base, retry, "attempts draw distinct fault streams");
+        assert_eq!(
+            retry,
+            draws(&mut FaultState::for_attempt(plan, 11, 1)),
+            "each attempt stream is itself deterministic"
+        );
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub struct MachineConfig {
     /// fault-free runs are bit-identical with the layer compiled in. See
     /// [`crate::faults`].
     pub faults: FaultPlan,
+    /// Restart-attempt number salting the fault RNG stream (see
+    /// [`FaultState::for_attempt`]). 0 — the default in every constructor
+    /// — is bit-identical to the unsalted stream; a supervisor restarting
+    /// this machine after a crash bumps it so retries do not replay the
+    /// identical fault (and crash) sequence.
+    pub fault_attempt: u32,
     /// Attach a [`pmu::ProtocolChecker`] to every core's PMU, recording
     /// MSR-protocol violations for [`Machine::protocol_violations`]. Off by
     /// default; tests that validate tool correctness turn it on.
@@ -85,6 +91,7 @@ impl MachineConfig {
             tool_cost_jitter: 0.10,
             seed,
             faults: FaultPlan::NONE,
+            fault_attempt: 0,
             check_msr_protocol: false,
         }
     }
@@ -109,6 +116,7 @@ impl MachineConfig {
             tool_cost_jitter: 0.10,
             seed,
             faults: FaultPlan::NONE,
+            fault_attempt: 0,
             check_msr_protocol: false,
         }
     }
@@ -127,6 +135,7 @@ impl MachineConfig {
             tool_cost_jitter: 0.0,
             seed,
             faults: FaultPlan::NONE,
+            fault_attempt: 0,
             check_msr_protocol: false,
         }
     }
@@ -323,7 +332,7 @@ impl Machine {
             queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(cfg.seed),
             dram: DramState::new(cfg.cores),
-            faults: FaultState::new(cfg.faults, cfg.seed),
+            faults: FaultState::for_attempt(cfg.faults, cfg.seed, cfg.fault_attempt),
         }
     }
 
@@ -473,7 +482,21 @@ impl Machine {
         let core = ev.core;
         self.advance_core_to(core, ev.time);
         match ev.kind {
-            EventKind::TimerFire { timer, generation } => self.fire_timer(core, timer, generation),
+            EventKind::TimerFire { timer, generation } => {
+                // The chaos layer's crash point: a timer expiry is where
+                // the real module's handler runs in interrupt context, so
+                // a software bug there kills the monitoring thread. The
+                // panic message is a pure function of (plan, seed,
+                // attempt) — supervised replays are byte-identical.
+                if self.faults.fires(FaultClass::ThreadPanic) {
+                    panic!(
+                        "injected fault: thread panic at {} ns (timer expiry on core {})",
+                        ev.time.as_nanos(),
+                        core.0
+                    );
+                }
+                self.fire_timer(core, timer, generation)
+            }
             EventKind::SchedTick { generation } => self.sched_tick(core, generation),
             EventKind::Wakeup(pid) => self.wakeup(core, pid),
             EventKind::Reschedule => self.reschedule(core),

@@ -258,6 +258,31 @@ impl BlockHeader {
     }
 }
 
+/// Supervision outcome of the stream's producer, carried in the ledger so
+/// a replayed run reconstructs per-machine health bit-for-bit. Lives in
+/// bytes the version-1 layout reserved (byte 11 and the final u64), so an
+/// all-default health encodes exactly as the pre-supervision format did —
+/// old traces decode as healthy, new healthy traces are byte-identical to
+/// old ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamHealth {
+    /// Times the supervisor restarted the producer after a contained
+    /// crash.
+    pub restarts: u32,
+    /// Failed attempts (panics + terminal errors) booked against the
+    /// stream. Failure *messages* are not recorded — only the count is
+    /// part of the determinism contract.
+    pub failures: u16,
+    /// Times the stream's circuit breaker tripped open.
+    pub breaker_trips: u8,
+    /// Final circuit-breaker state: 0 closed, 1 open, 2 half-open
+    /// (matches `fleet`'s `BreakerState` discriminants).
+    pub breaker_state: u8,
+    /// True if the stream's producer failed permanently: the trace holds
+    /// whatever was forwarded before the restart budget ran out.
+    pub failed: bool,
+}
+
 /// End-of-stream accounting, written as the final block by
 /// [`crate::TraceWriter::finish`]. Carries the module's drop ledger and
 /// the controller's recovery stats into the format, so a replayed run can
@@ -271,6 +296,9 @@ pub struct StreamLedger {
     pub status: ModuleStatus,
     /// The controller's fault-recovery counters.
     pub recovery: RecoveryStats,
+    /// The supervisor's verdict on the producer (all-default when the
+    /// stream ran unsupervised or cleanly).
+    pub health: StreamHealth,
 }
 
 impl StreamLedger {
@@ -284,8 +312,12 @@ impl StreamLedger {
         out.push(self.status.target_alive as u8);
         out.push(self.status.paused as u8);
         out.push(self.recovery.degraded as u8);
-        out.push(0);
+        out.push(self.health.failed as u8);
         out.extend_from_slice(&self.recovery.period_doublings.to_le_bytes());
+        let health_word = u64::from(self.health.restarts)
+            | u64::from(self.health.failures) << 32
+            | u64::from(self.health.breaker_trips) << 48
+            | u64::from(self.health.breaker_state) << 56;
         for v in [
             self.status.buffered,
             self.status.samples_taken,
@@ -296,7 +328,7 @@ impl StreamLedger {
             self.recovery.drains_abandoned,
             self.recovery.kicks,
             self.recovery.kicks_honoured,
-            0, // reserved
+            health_word,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -332,6 +364,16 @@ impl StreamLedger {
                 drains_abandoned: u64_at(64),
                 kicks: u64_at(72),
                 kicks_honoured: u64_at(80),
+            },
+            health: {
+                let word = u64_at(88);
+                StreamHealth {
+                    restarts: word as u32,
+                    failures: (word >> 32) as u16,
+                    breaker_trips: (word >> 48) as u8,
+                    breaker_state: (word >> 56) as u8,
+                    failed: bytes[11] != 0,
+                }
             },
         })
     }
@@ -411,10 +453,33 @@ mod tests {
                 period_doublings: 1,
                 degraded: true,
             },
+            health: StreamHealth {
+                restarts: 2,
+                failures: 3,
+                breaker_trips: 1,
+                breaker_state: 1,
+                failed: true,
+            },
         };
         let bytes = ledger.encode();
         assert_eq!(bytes.len(), StreamLedger::ENCODED_LEN);
         assert_eq!(StreamLedger::decode(&bytes), Some(ledger));
         assert_eq!(StreamLedger::decode(&bytes[..50]), None);
+    }
+
+    #[test]
+    fn default_health_preserves_the_v1_ledger_bytes() {
+        // The health fields live in formerly reserved bytes: a healthy
+        // stream must encode exactly as the pre-supervision format did,
+        // so old readers and recorded-digest baselines are undisturbed.
+        let ledger = StreamLedger {
+            samples_written: 9,
+            ..Default::default()
+        };
+        let bytes = ledger.encode();
+        assert_eq!(bytes[11], 0, "reserved byte stays zero when healthy");
+        assert_eq!(&bytes[88..96], &[0u8; 8], "reserved word stays zero");
+        let decoded = StreamLedger::decode(&bytes).unwrap();
+        assert_eq!(decoded.health, StreamHealth::default());
     }
 }

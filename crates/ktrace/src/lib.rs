@@ -39,6 +39,7 @@ pub mod codec;
 pub mod corrupt;
 pub mod crc;
 pub mod format;
+pub mod manifest;
 pub mod reader;
 pub mod replay;
 pub mod sink;
@@ -49,9 +50,10 @@ pub use codec::{decode_block, encode_block, encode_block_into, BlockSummary, Enc
 pub use corrupt::{corrupt, CorruptionLog, CorruptionPlan};
 pub use crc::crc32;
 pub use format::{
-    BlockHeader, StreamLedger, StreamMeta, TraceError, BLOCK_HEADER_LEN, FILE_MAGIC, KIND_LEDGER,
-    KIND_SAMPLES, NUM_LANES,
+    BlockHeader, StreamHealth, StreamLedger, StreamMeta, TraceError, BLOCK_HEADER_LEN, FILE_MAGIC,
+    KIND_LEDGER, KIND_SAMPLES, NUM_LANES,
 };
+pub use manifest::{Manifest, MANIFEST_EXT, MANIFEST_MAGIC};
 pub use reader::{FilteredRead, ReadFilter, RecoveredStream, RecoveryReport, TraceReader};
 pub use replay::{stream_file_name, TraceReplayer, TRACE_EXT};
 pub use sink::{SharedWriter, TeeSink};

@@ -175,12 +175,27 @@ pub struct TraceReader {
 impl TraceReader {
     /// Opens and validates `path`'s file header.
     ///
+    /// If a valid sidecar [`Manifest`](crate::Manifest) governs the
+    /// trace, the image is clipped to the manifest's sealed length
+    /// first: bytes past the seal are post-crash garbage, not stream
+    /// data, and must not reach the scanner. Without a manifest the
+    /// whole file is scanned and recovery does its usual counting.
+    ///
     /// # Errors
     ///
     /// [`TraceError::Io`] if the file cannot be read,
     /// [`TraceError::BadHeader`] if it is not a ktrace segment.
     pub fn open(path: &std::path::Path) -> Result<Self, TraceError> {
-        Self::from_bytes(std::fs::read(path)?)
+        let mut bytes = std::fs::read(path)?;
+        if let Some(manifest) = crate::manifest::Manifest::load(path) {
+            if (manifest.file_len as usize) <= bytes.len() {
+                bytes.truncate(manifest.file_len as usize);
+            }
+            // A manifest longer than the file means the sealed data
+            // itself was lost after the fact; scan what remains and let
+            // recovery flag the truncated tail.
+        }
+        Self::from_bytes(bytes)
     }
 
     /// Wraps an in-memory trace image.

@@ -97,6 +97,26 @@ impl<W: Write> SharedWriter<W> {
     }
 }
 
+impl SharedWriter<std::fs::File> {
+    /// Crash-consistent seal: like [`SharedWriter::finish`] but via
+    /// [`TraceWriter::seal_durable`], so the segment is `fsync`ed and
+    /// its sidecar manifest committed by atomic rename. If the seal
+    /// itself fails the manifest is never written — the tail stays
+    /// ungoverned and readers fall back to scan recovery.
+    ///
+    /// # Errors
+    ///
+    /// The first deferred append error if one occurred, otherwise
+    /// whatever [`TraceWriter::seal_durable`] returns.
+    pub fn finish_durable(&self, ledger: &StreamLedger) -> Result<(), TraceError> {
+        let mut inner = self.lock();
+        if let Some(e) = inner.deferred.take() {
+            return Err(e);
+        }
+        inner.writer.seal_durable(ledger)
+    }
+}
+
 /// [`SampleSink`] that tees drain batches to a [`SharedWriter`] and then
 /// forwards them to an optional inner sink.
 #[derive(Debug)]

@@ -35,6 +35,9 @@ pub struct TraceWriter<W: Write> {
     samples_written: u64,
     blocks_written: u64,
     finished: bool,
+    /// Backing file path when created via [`TraceWriter::create`]; lets
+    /// [`TraceWriter::seal_durable`] place the sidecar manifest.
+    path: Option<std::path::PathBuf>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -54,6 +57,7 @@ impl<W: Write> TraceWriter<W> {
             samples_written: 0,
             blocks_written: 0,
             finished: false,
+            path: None,
         })
     }
 
@@ -185,7 +189,9 @@ impl TraceWriter<std::fs::File> {
     /// write fails.
     pub fn create(path: &std::path::Path, meta: &StreamMeta) -> Result<Self, TraceError> {
         let file = std::fs::File::create(path)?;
-        Self::new(file, meta)
+        let mut writer = Self::new(file, meta)?;
+        writer.path = Some(path.to_path_buf());
+        Ok(writer)
     }
 
     /// [`TraceWriter::sync`] plus `fsync` to the device — the strongest
@@ -197,6 +203,33 @@ impl TraceWriter<std::fs::File> {
     pub fn sync_to_disk(&mut self) -> Result<(), TraceError> {
         self.sync()?;
         self.sink.sync_data()?;
+        Ok(())
+    }
+
+    /// Crash-consistent seal: [`TraceWriter::finish`] + `fsync`, then
+    /// the sidecar [`Manifest`](crate::Manifest) written via temp file +
+    /// atomic rename. After this returns, a reader either sees the
+    /// manifest governing the exact sealed byte length (and ignores any
+    /// post-seal garbage) or — if the process died before the rename —
+    /// no manifest at all and falls back to scan recovery. Requires the
+    /// writer to have been made with [`TraceWriter::create`]; otherwise
+    /// behaves like plain `finish` + `fsync`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on a failed write, sync or manifest rename;
+    /// [`TraceError::Finished`] if already finished.
+    pub fn seal_durable(&mut self, ledger: &StreamLedger) -> Result<(), TraceError> {
+        self.finish(ledger)?;
+        self.sink.sync_data()?;
+        if let Some(path) = self.path.clone() {
+            let manifest = crate::manifest::Manifest {
+                file_len: self.sink.metadata()?.len(),
+                blocks_written: self.blocks_written,
+                samples_written: self.samples_written,
+            };
+            manifest.write_atomic(&path)?;
+        }
         Ok(())
     }
 }
@@ -253,6 +286,45 @@ mod tests {
             w.finish(&StreamLedger::default()),
             Err(TraceError::Finished)
         ));
+    }
+
+    #[test]
+    fn seal_durable_manifest_governs_the_tail() {
+        use crate::manifest::Manifest;
+        use crate::reader::TraceReader;
+
+        let dir = std::env::temp_dir().join(format!("ktrace-seal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.ktrace");
+        let mut w = TraceWriter::create(&path, &meta()).unwrap();
+        let batch: Vec<Sample> = (0..12).map(sample).collect();
+        w.append_batch(&batch).unwrap();
+        w.seal_durable(&StreamLedger::default()).unwrap();
+        let sealed_len = std::fs::metadata(&path).unwrap().len();
+        let manifest = Manifest::load(&path).expect("manifest committed");
+        assert_eq!(manifest.file_len, sealed_len);
+        assert_eq!(manifest.samples_written, 12);
+
+        // Post-seal garbage — a torn page from a dying process — must
+        // not reach the scanner when the manifest governs the tail.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&[0xAB; 97]).unwrap();
+        drop(f);
+        let rec = TraceReader::open(&path).unwrap().read_all();
+        assert!(rec.report.is_clean(), "{:?}", rec.report);
+        assert_eq!(rec.samples.len(), 12);
+
+        // Without the manifest the same bytes hit scan recovery, which
+        // counts the garbage tail instead of silently accepting it.
+        std::fs::remove_file(Manifest::path_for(&path)).unwrap();
+        let rec = TraceReader::open(&path).unwrap().read_all();
+        assert!(!rec.report.is_clean(), "garbage tail must be flagged");
+        assert_eq!(rec.samples.len(), 12, "real samples still recovered");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

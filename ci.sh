@@ -16,6 +16,9 @@ mkdir -p target
 cargo run -q -p klint -- --workspace --format json > target/klint-report.json
 echo "    report: target/klint-report.json"
 
+echo "==> api-snapshot gate (public API inventory matches committed api.txt)"
+cargo run -q -p klint --bin apisnap --
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 
@@ -36,6 +39,10 @@ cargo run -q --release --example supervision -- --quick
 
 echo "==> perf-smoke gate (ingest transports: SPSC ring >= 2x Mutex at N=64, drop ledger balanced)"
 cargo run -q --release -p kleb-bench --bin ingest_perf -- --quick
+
+echo "==> governor gate (closed-loop rate control beats the best coverage-matching fixed period)"
+cargo run -q --release -p kleb-bench --bin governor_perf -- --quick
+cargo run -q --release --example rate_governor -- --quick
 
 echo "==> kloom gate (exhaustive interleavings: ring protocol, doorbell, ordering mutations)"
 # Separate target dir: --cfg kloom changes every crate's fingerprint, and

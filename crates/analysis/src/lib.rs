@@ -11,7 +11,9 @@ pub mod timeseries;
 pub mod trace;
 
 pub use detector::{Detection, EwmaDetector};
-pub use metrics::{gflops, mpki, performance_loss_percent, IntensityClass};
+pub use metrics::{
+    gflops, mpki, overhead_proxy, performance_loss_percent, sample_coverage, IntensityClass,
+};
 pub use phases::{detect_phases, Phase, PhaseKind};
 pub use stats::{five_number, mad, mean, median, percentile, robust_z, stddev, FiveNumber};
 pub use table::TextTable;

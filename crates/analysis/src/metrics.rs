@@ -65,6 +65,30 @@ pub fn performance_loss_percent(baseline: f64, measured: f64) -> f64 {
     (baseline - measured) / baseline * 100.0
 }
 
+/// Monitoring-overhead proxy: attempted samples per second with dropped
+/// samples charged extra (`drop_penalty` each — the interrupt fired and
+/// the copy happened, then the pipeline shed the result for nothing).
+///
+/// Lower is cheaper. Returns `0.0` for a zero-length window.
+pub fn overhead_proxy(samples: u64, dropped: u64, elapsed_ns: u64, drop_penalty: f64) -> f64 {
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    let attempted = (samples + dropped) as f64;
+    let charged = attempted + dropped as f64 * drop_penalty;
+    charged * 1e9 / elapsed_ns as f64
+}
+
+/// Effective coverage: delivered samples per second of monitored time.
+///
+/// Returns `0.0` for a zero-length window.
+pub fn sample_coverage(samples: u64, elapsed_ns: u64) -> f64 {
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    samples as f64 * 1e9 / elapsed_ns as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +126,23 @@ mod tests {
     fn loss_math() {
         assert!((performance_loss_percent(37.24, 37.00) - 0.644).abs() < 0.01);
         assert_eq!(performance_loss_percent(0.0, 1.0), 0.0);
+    }
+    #[test]
+    fn overhead_proxy_charges_drops_and_normalises_per_second() {
+        let second = 1_000_000_000;
+        assert_eq!(overhead_proxy(1000, 0, second, 4.0), 1000.0);
+        // 900 delivered + 100 dropped, each drop charged 4x extra.
+        assert_eq!(overhead_proxy(900, 100, second, 4.0), 1400.0);
+        // Same work in half the window costs twice the rate.
+        assert_eq!(overhead_proxy(1000, 0, second / 2, 4.0), 2000.0);
+        assert_eq!(overhead_proxy(1000, 50, 0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn coverage_is_delivered_rate() {
+        let second = 1_000_000_000;
+        assert_eq!(sample_coverage(500, second), 500.0);
+        assert_eq!(sample_coverage(500, second / 2), 1000.0);
+        assert_eq!(sample_coverage(500, 0), 0.0);
     }
 }

@@ -29,6 +29,9 @@ pub fn run_kleb(
         .map_err(|e| match e {
             MonitorError::Sim(s) => ToolError::Sim(s),
             MonitorError::Controller(msg) => ToolError::Tool(msg),
+            // MonitorError is #[non_exhaustive]; surface anything newer
+            // than this adapter as a tool-side error.
+            other => ToolError::Tool(other.to_string()),
         })?;
     let n = events.len();
     let mut totals = vec![0u64; n];

@@ -31,6 +31,7 @@ fn fleet_scale_stream(n: u64, seed: u64) -> Vec<Sample> {
                 pid: 31337,
                 final_sample: i + 1 == n,
                 gap: noise(seed, i).is_multiple_of(97),
+                retune: false,
                 fixed: [
                     1_000 + noise(seed, i) % 40,
                     2_670 + noise(seed, i ^ 1) % 25,

@@ -36,12 +36,13 @@ fn main() {
         "dropped",
     ]);
     for n in sizes {
-        let config = FleetConfig::new(
+        let config = FleetConfig::builder(
             &[HwEvent::LlcReference, HwEvent::LlcMiss],
             Duration::from_micros(500),
         )
         .tuning(KlebTuning::microarchitectural())
-        .machine(MachineConfig::test_tiny);
+        .machine(MachineConfig::test_tiny)
+        .build();
         let base = scale.seed;
         let specs: Vec<MachineSpec> = (0..n as u64)
             .map(|i| {

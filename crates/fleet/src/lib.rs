@@ -7,15 +7,19 @@
 //! their sample batches stream through a bounded [`channel`] with an
 //! explicit [`Backpressure`] policy into a sharded [`FleetStore`], where
 //! windowed queries and the [`detect`] fan-in pass operate across the
-//! fleet. The pipeline observes itself through [`FleetMetrics`].
+//! fleet. The pipeline observes itself through [`FleetMetrics`], and the
+//! [`governor`] module can hold the whole fleet inside an aggregate
+//! sampling budget while each machine's AIMD loop rides out its own
+//! pressure bursts.
 //!
 //! ```
 //! use fleet::{FleetConfig, FleetRunner, MachineSpec};
 //! use ksim::{Duration, FixedBlocks, MachineConfig, WorkBlock};
 //! use pmu::HwEvent;
 //!
-//! let config = FleetConfig::new(&[HwEvent::LlcMiss], Duration::from_micros(500))
-//!     .machine(MachineConfig::test_tiny);
+//! let config = FleetConfig::builder(&[HwEvent::LlcMiss], Duration::from_micros(500))
+//!     .machine(MachineConfig::test_tiny)
+//!     .build();
 //! let specs = (0..3)
 //!     .map(|i| {
 //!         MachineSpec::new(format!("m{i}"), 7 + i, |_seed| {
@@ -32,6 +36,7 @@
 pub mod channel;
 pub mod clock;
 pub mod detect;
+pub mod governor;
 pub mod ingest;
 pub(crate) mod ksync;
 pub mod metrics;
@@ -43,10 +48,12 @@ pub mod watchdog;
 pub use channel::{bounded, Backpressure, Batch, ChannelStats, Receiver, RecvTimeout, Sender};
 pub use clock::{Clock, MonotonicClock, TickClock};
 pub use detect::{scan_fleet, verdict_table, AnomalyConfig, FleetAnomalyReport, MachineVerdict};
+pub use governor::{GovernorPolicy, GovernorReport};
 pub use ingest::{ring_fanin, Polled, RingCollector, RingSender, Transport};
 pub use metrics::{FleetMetrics, LatencyHistogram};
 pub use runner::{
-    FleetConfig, FleetError, FleetOutcome, FleetRunner, MachineReport, MachineSpec, WorkloadFactory,
+    FleetConfig, FleetConfigBuilder, FleetError, FleetOutcome, FleetRunner, MachineReport,
+    MachineSpec, WorkloadFactory,
 };
 pub use store::{FleetStore, Lane, MachineSnapshot, Point, StoreStats, Window};
 pub use supervisor::{

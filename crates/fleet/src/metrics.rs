@@ -84,6 +84,9 @@ pub struct FleetMetrics {
     machine_failures: AtomicU64,
     machines_lost: AtomicU64,
     breaker_trips: AtomicU64,
+    governor_retunes: AtomicU64,
+    governor_clamps: AtomicU64,
+    governor_oscillations: AtomicU64,
     /// Wall time from a batch leaving the queue to its samples resting in
     /// the store.
     drain_latency: LatencyHistogram,
@@ -143,6 +146,23 @@ impl FleetMetrics {
     /// Adds circuit-breaker trips from the supervisor.
     pub fn add_breaker_trips(&self, trips: u64) {
         self.breaker_trips.fetch_add(trips, Ordering::Relaxed);
+    }
+
+    /// Adds rate-governor retunes (period changes issued by the AIMD
+    /// loop).
+    pub fn add_retunes(&self, retunes: u64) {
+        self.governor_retunes.fetch_add(retunes, Ordering::Relaxed);
+    }
+
+    /// Adds governor backoffs cut short by the period ceiling.
+    pub fn add_retune_clamps(&self, clamps: u64) {
+        self.governor_clamps.fetch_add(clamps, Ordering::Relaxed);
+    }
+
+    /// Adds governor direction reversals (hunting indicator).
+    pub fn add_retune_oscillations(&self, oscillations: u64) {
+        self.governor_oscillations
+            .fetch_add(oscillations, Ordering::Relaxed);
     }
 
     /// Raises the recorded fan-in depth high-water mark to `depth`.
@@ -207,6 +227,21 @@ impl FleetMetrics {
         self.breaker_trips.load(Ordering::Relaxed)
     }
 
+    /// Governor retunes so far.
+    pub fn governor_retunes(&self) -> u64 {
+        self.governor_retunes.load(Ordering::Relaxed)
+    }
+
+    /// Governor ceiling clamps so far.
+    pub fn governor_clamps(&self) -> u64 {
+        self.governor_clamps.load(Ordering::Relaxed)
+    }
+
+    /// Governor direction reversals so far.
+    pub fn governor_oscillations(&self) -> u64 {
+        self.governor_oscillations.load(Ordering::Relaxed)
+    }
+
     /// The drain-latency histogram.
     pub fn drain_latency(&self) -> &LatencyHistogram {
         &self.drain_latency
@@ -267,6 +302,18 @@ impl FleetMetrics {
             "breaker trips".into(),
             self.breaker_trips().to_string(),
         ]);
+        t.row_owned(vec![
+            "governor retunes".into(),
+            self.governor_retunes().to_string(),
+        ]);
+        t.row_owned(vec![
+            "governor clamps".into(),
+            self.governor_clamps().to_string(),
+        ]);
+        t.row_owned(vec![
+            "governor oscillations".into(),
+            self.governor_oscillations().to_string(),
+        ]);
         t.row_owned(vec!["drain latency p50".into(), lat(50.0)]);
         t.row_owned(vec!["drain latency p90".into(), lat(90.0)]);
         t.row_owned(vec!["drain latency p99".into(), lat(99.0)]);
@@ -306,6 +353,9 @@ mod tests {
         m.add_stall();
         m.add_stall();
         m.add_resume();
+        m.add_retunes(4);
+        m.add_retune_clamps(2);
+        m.add_retune_oscillations(1);
         m.observe_depth_hwm(4);
         m.observe_depth_hwm(2);
         assert_eq!(m.samples_ingested(), 15);
@@ -315,6 +365,9 @@ mod tests {
         assert_eq!(m.stream_stalls(), 2);
         assert_eq!(m.stream_resumes(), 1);
         assert_eq!(m.channel_depth_hwm(), 4, "hwm is monotone");
+        assert_eq!(m.governor_retunes(), 4);
+        assert_eq!(m.governor_clamps(), 2);
+        assert_eq!(m.governor_oscillations(), 1);
         assert_eq!(m.drain_latency().count(), 2);
     }
 
@@ -330,6 +383,9 @@ mod tests {
             "channel depth high-water",
             "stream stalls",
             "stream resumes",
+            "governor retunes",
+            "governor clamps",
+            "governor oscillations",
             "drain latency p99",
         ] {
             assert!(out.contains(needle), "missing {needle} in:\n{out}");

@@ -29,6 +29,7 @@ use pmu::{EventCounts, HwEvent};
 
 use crate::channel::{bounded, Backpressure, ChannelStats, RecvTimeout, Sender};
 use crate::clock::{Clock, MonotonicClock};
+use crate::governor::{GovernorPolicy, GovernorReport};
 use crate::ingest::{ring_fanin, Polled, RingCollector, RingSender, Transport};
 use crate::metrics::FleetMetrics;
 use crate::store::FleetStore;
@@ -60,6 +61,11 @@ pub struct MachineSpec {
     pub seed: u64,
     /// Workload constructor, invoked on the machine's thread.
     pub workload: WorkloadFactory,
+    /// Relative overhead weight for the fleet budget allocator: a
+    /// weight-2 stream costs the budget twice what a weight-1 stream
+    /// does at the same period, so it is slowed first. Ignored unless a
+    /// [`GovernorPolicy`] with a budget is configured. Default 1.0.
+    pub weight: f64,
 }
 
 impl MachineSpec {
@@ -73,7 +79,14 @@ impl MachineSpec {
             label: label.into(),
             seed,
             workload: Box::new(workload),
+            weight: 1.0,
         }
+    }
+
+    /// Sets the budget-allocator weight.
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
     }
 }
 
@@ -82,12 +95,28 @@ impl std::fmt::Debug for MachineSpec {
         f.debug_struct("MachineSpec")
             .field("label", &self.label)
             .field("seed", &self.seed)
+            .field("weight", &self.weight)
             .finish_non_exhaustive()
     }
 }
 
 /// Fleet-wide configuration shared by every machine.
+///
+/// Construct through [`FleetConfig::builder`] — the one coherent way to
+/// assemble a fleet:
+///
+/// ```ignore
+/// let config = FleetConfig::builder(&events, period)
+///     .transport(Transport::SpscRing)
+///     .persist("/tmp/traces")
+///     .govern(GovernorPolicy::new().budget(50_000))
+///     .build();
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: fields stay readable everywhere,
+/// but new knobs can be added without breaking downstream construction.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct FleetConfig {
     /// Events programmed on each machine's programmable counters.
     pub events: Vec<HwEvent>,
@@ -133,12 +162,24 @@ pub struct FleetConfig {
     /// [`crate::supervisor`] for the determinism contract (a clean run
     /// never touches any of it).
     pub supervision: SupervisorPolicy,
+    /// Closed-loop rate governance. `None` (the default) runs every
+    /// machine at the fixed configured period, exactly as fleets always
+    /// did; `Some` derives a per-machine [`kleb::RatePolicy`] from the
+    /// policy (after the budget allocator assigns base periods) and
+    /// lets each controller retune its module live.
+    pub governor: Option<GovernorPolicy>,
+    /// Controller wake/drain/status-poll interval for every machine.
+    /// `None` uses kleb's period-derived default (64 periods, clamped to
+    /// 1–50 ms). The governor only acts at status polls, so governed
+    /// fleets often want this tighter than the default.
+    pub drain_interval: Option<Duration>,
 }
 
 impl FleetConfig {
-    /// A config sampling `events` every `period` on i7-920-class
-    /// machines, lossless backpressure, 64-batch channel, 64Ki-point
-    /// shards.
+    /// The default config: `events` sampled every `period` on
+    /// i7-920-class machines, lossless backpressure, 64-batch channel,
+    /// 64Ki-point shards, no faults, no governor. Use
+    /// [`FleetConfig::builder`] to override anything.
     pub fn new(events: &[HwEvent], period: Duration) -> Self {
         Self {
             events: events.to_vec(),
@@ -155,81 +196,125 @@ impl FleetConfig {
             clock: Arc::new(MonotonicClock::new()),
             persist_dir: None,
             supervision: SupervisorPolicy::default(),
+            governor: None,
+            drain_interval: None,
         }
     }
 
+    /// Starts a builder from the defaults of [`FleetConfig::new`].
+    pub fn builder(events: &[HwEvent], period: Duration) -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: FleetConfig::new(events, period),
+        }
+    }
+}
+
+/// Chainable constructor for [`FleetConfig`] — the single supported way
+/// to customise a fleet. Obtained from [`FleetConfig::builder`]; every
+/// setter consumes and returns the builder, and [`build`] yields the
+/// finished config.
+///
+/// [`build`]: FleetConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    config: FleetConfig,
+}
+
+impl FleetConfigBuilder {
     /// Overrides the module cost tuning.
     pub fn tuning(mut self, tuning: KlebTuning) -> Self {
-        self.tuning = tuning;
+        self.config.tuning = tuning;
         self
     }
 
     /// Overrides the backpressure policy.
     pub fn backpressure(mut self, policy: Backpressure) -> Self {
-        self.backpressure = policy;
+        self.config.backpressure = policy;
         self
     }
 
     /// Overrides the fan-in transport.
     pub fn transport(mut self, transport: Transport) -> Self {
-        self.transport = transport;
+        self.config.transport = transport;
         self
     }
 
     /// Overrides the channel capacity (batches; Mutex transport).
     pub fn channel_capacity(mut self, batches: usize) -> Self {
-        self.channel_capacity = batches;
+        self.config.channel_capacity = batches;
         self
     }
 
     /// Overrides the per-stream ring capacity (samples; ring transport).
     pub fn ring_capacity(mut self, samples: usize) -> Self {
-        self.ring_capacity = samples;
+        self.config.ring_capacity = samples;
         self
     }
 
     /// Overrides the per-shard point capacity.
     pub fn shard_capacity(mut self, points: usize) -> Self {
-        self.shard_capacity = points;
+        self.config.shard_capacity = points;
         self
     }
 
     /// Overrides the machine hardware model.
     pub fn machine(mut self, factory: fn(u64) -> MachineConfig) -> Self {
-        self.machine_config = factory;
+        self.config.machine_config = factory;
         self
     }
 
     /// Overrides the collector's time source.
     pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
-        self.clock = clock;
+        self.config.clock = clock;
         self
     }
 
     /// Injects a fault plan into every machine of the fleet.
     pub fn faults(mut self, plan: ksim::FaultPlan) -> Self {
-        self.faults = Some(plan);
+        self.config.faults = Some(plan);
         self
     }
 
     /// Overrides the watchdog's stall timeout.
     pub fn stall_timeout(mut self, timeout: std::time::Duration) -> Self {
-        self.stall_timeout = timeout;
+        self.config.stall_timeout = timeout;
         self
     }
 
     /// Records every machine's sample stream to ktrace segments under
     /// `dir` (created if missing at run time).
     pub fn persist(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.persist_dir = Some(dir.into());
+        self.config.persist_dir = Some(dir.into());
         self
     }
 
     /// Overrides the supervision policy (restart budget, backoff,
     /// circuit breaker).
     pub fn supervise(mut self, policy: SupervisorPolicy) -> Self {
-        self.supervision = policy;
+        self.config.supervision = policy;
         self
+    }
+
+    /// Attaches closed-loop rate governance: the budget allocator
+    /// assigns per-machine base periods up front and every machine's
+    /// controller retunes its module live under the derived
+    /// [`kleb::RatePolicy`].
+    pub fn govern(mut self, policy: GovernorPolicy) -> Self {
+        self.config.governor = Some(policy);
+        self
+    }
+
+    /// Overrides the controller wake/drain/status-poll interval. The
+    /// governor observes pressure once per poll, so this bounds its
+    /// reaction time.
+    pub fn drain_interval(mut self, interval: Duration) -> Self {
+        self.config.drain_interval = Some(interval);
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> FleetConfig {
+        self.config
     }
 }
 
@@ -240,6 +325,7 @@ impl FleetConfig {
 /// `Machines` is returned only when *every* machine failed — and then it
 /// aggregates every recorded failure, not just the first one.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FleetError {
     /// Pre-flight setup failed before any machine ran (e.g. the persist
     /// directory could not be created).
@@ -284,7 +370,11 @@ pub struct MachineReport {
 }
 
 /// Everything a completed fleet run produced.
+///
+/// `#[non_exhaustive]`: only [`FleetRunner`] assembles one; new result
+/// surfaces can be added without breaking downstream readers.
 #[derive(Debug)]
+#[non_exhaustive]
 pub struct FleetOutcome {
     /// The populated sample store.
     pub store: FleetStore,
@@ -301,6 +391,10 @@ pub struct FleetOutcome {
     /// What the stream watchdog saw: per-machine stall/resume episodes
     /// and any machine still quarantined at the end.
     pub watchdog: WatchdogReport,
+    /// Per-machine rate-governance rows, parallel to `machines`:
+    /// configured and allocated base periods plus the live governor's
+    /// counters (all idle when the fleet ran ungoverned).
+    pub governors: Vec<GovernorReport>,
     /// Collector wall-clock time, for rate reporting.
     pub elapsed: std::time::Duration,
 }
@@ -347,6 +441,32 @@ impl FleetOutcome {
                 health.failure_count.to_string(),
                 health.breaker_trips.to_string(),
                 report.outcome.samples.len().to_string(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Renders the per-machine governance table: allocated vs final
+    /// period and the AIMD counters.
+    pub fn governor_table(&self) -> String {
+        let mut t = analysis::TextTable::new(&[
+            "machine",
+            "allocated µs",
+            "final µs",
+            "retunes",
+            "acked",
+            "clamps",
+            "oscillations",
+        ]);
+        for row in &self.governors {
+            t.row_owned(vec![
+                row.label.clone(),
+                format!("{:.1}", row.allocated_period_ns as f64 / 1_000.0),
+                format!("{:.1}", row.final_period_ns() as f64 / 1_000.0),
+                row.stats.retunes.to_string(),
+                row.stats.acked.to_string(),
+                row.stats.clamps.to_string(),
+                row.stats.oscillations.to_string(),
             ]);
         }
         t.render()
@@ -405,6 +525,21 @@ impl FleetOutcome {
                     rec.kicks_honoured,
                     rec.period_doublings as u64,
                     rec.degraded as u64,
+                ],
+            );
+            // The governor's ledger. All-zero both for ungoverned runs
+            // and for governed runs that never saw pressure — which is
+            // what keeps those two byte-identical here.
+            let gov = &report.outcome.governor;
+            u64s(
+                &mut out,
+                &[
+                    u64::from(gov.retunes),
+                    u64::from(gov.acked),
+                    u64::from(gov.clamps),
+                    u64::from(gov.oscillations),
+                    gov.last_period_ns,
+                    gov.max_period_ns,
                 ],
             );
             // Supervision health: the counts and final breaker state are
@@ -570,14 +705,28 @@ impl FleetRunner {
                 });
             }
         }
+        // The budget allocator assigns each machine its base period
+        // before anything runs; without a governor (or without a budget)
+        // every machine gets the configured period unchanged.
+        let weights: Vec<f64> = specs.iter().map(|s| s.weight).collect();
+        let allocated: Vec<u64> = match &self.config.governor {
+            Some(policy) => policy.allocate(self.config.period.as_nanos(), &weights),
+            None => vec![self.config.period.as_nanos(); n],
+        };
         let (mut senders, receiver) = self.make_fanin(n);
         let mut handles = Vec::with_capacity(n);
         // Sender i goes to spec i: stream indices equal spec order.
         let mut senders_iter = senders.drain(..);
         for (index, spec) in specs.into_iter().enumerate() {
             let tx = senders_iter.next().expect("one sender per spec");
-            let monitor =
-                Monitor::new(&self.config.events, self.config.period).tuning(self.config.tuning);
+            let period = Duration::from_nanos(allocated[index]);
+            let mut monitor = Monitor::new(&self.config.events, period).tuning(self.config.tuning);
+            if let Some(interval) = self.config.drain_interval {
+                monitor = monitor.drain_interval(interval);
+            }
+            if let Some(policy) = &self.config.governor {
+                monitor = monitor.govern(policy.rate_policy(allocated[index]));
+            }
             let label = spec.label.clone();
             let seed = spec.seed;
             let trace_path = self
@@ -599,7 +748,7 @@ impl FleetRunner {
                 meta: StreamMeta {
                     label: label.clone(),
                     seed,
-                    period_ns: self.config.period.as_nanos(),
+                    period_ns: allocated[index],
                     events: self.config.events.clone(),
                 },
             };
@@ -608,7 +757,7 @@ impl FleetRunner {
         }
         drop(senders_iter);
 
-        self.collect_and_join(n, receiver, handles)
+        self.collect_and_join(n, receiver, handles, allocated)
     }
 
     /// Replays recorded streams through the collector pipeline — a
@@ -636,6 +785,9 @@ impl FleetRunner {
     pub fn replay(&self, streams: Vec<RecoveredStream>) -> Result<FleetOutcome, FleetError> {
         assert!(!streams.is_empty(), "replay needs at least one stream");
         let n = streams.len();
+        // The recorded stream metadata carries each machine's allocated
+        // base period, so replayed governance rows match the live run's.
+        let allocated: Vec<u64> = streams.iter().map(|s| s.meta.period_ns).collect();
         let (mut senders, receiver) = self.make_fanin(n);
         let mut handles = Vec::with_capacity(n);
         let mut senders_iter = senders.drain(..);
@@ -664,17 +816,19 @@ impl FleetRunner {
         }
         drop(senders_iter);
 
-        self.collect_and_join(n, receiver, handles)
+        self.collect_and_join(n, receiver, handles, allocated)
     }
 
     /// The shared back half of [`FleetRunner::run`] and
     /// [`FleetRunner::replay`]: drive the collector loop, join the
-    /// producer threads, assemble the outcome.
+    /// producer threads, assemble the outcome. `allocated` holds each
+    /// machine's allocator-assigned base period, in spec order.
     fn collect_and_join(
         &self,
         n: usize,
         mut receiver: FanIn,
         handles: Vec<(String, u64, std::thread::JoinHandle<SupervisedRun>)>,
+        allocated: Vec<u64>,
     ) -> Result<FleetOutcome, FleetError> {
         let metrics = Arc::new(FleetMetrics::new());
         let mut store = FleetStore::new(n, self.config.events.clone(), self.config.shard_capacity);
@@ -775,6 +929,23 @@ impl FleetRunner {
             }
         }
 
+        // Governance rows and counters, one per machine (idle rows when
+        // the fleet ran ungoverned).
+        let base_period_ns = self.config.period.as_nanos();
+        let mut governors = Vec::with_capacity(n);
+        for (report, &allocated_period_ns) in machines.iter().zip(&allocated) {
+            let stats = report.outcome.governor;
+            metrics.add_retunes(u64::from(stats.retunes));
+            metrics.add_retune_clamps(u64::from(stats.clamps));
+            metrics.add_retune_oscillations(u64::from(stats.oscillations));
+            governors.push(GovernorReport {
+                label: report.label.clone(),
+                base_period_ns,
+                allocated_period_ns,
+                stats,
+            });
+        }
+
         let channel = receiver.stats();
         metrics.add_dropped(channel.total_dropped());
         metrics.observe_depth_hwm(channel.depth_high_water as u64);
@@ -786,6 +957,7 @@ impl FleetRunner {
             channel,
             metrics,
             watchdog: watchdog.report(),
+            governors,
             elapsed,
         })
     }
@@ -808,6 +980,7 @@ fn replayed_report(stream: RecoveredStream) -> MachineReport {
             status: ledger.status,
             events: stream.meta.events,
             recovery: ledger.recovery,
+            governor: ledger.governor,
         },
     }
 }
@@ -853,6 +1026,7 @@ pub(crate) fn outline_report(
             status: Default::default(),
             events,
             recovery: Default::default(),
+            governor: Default::default(),
         },
     }
 }
@@ -865,8 +1039,10 @@ mod tests {
     use ksim::{FixedBlocks, WorkBlock};
     use pmu::EventCounts;
 
-    fn quick_config() -> FleetConfig {
-        FleetConfig::new(
+    /// A builder, not a finished config: tests chain further overrides
+    /// and `.build()` at the use site.
+    fn quick_config() -> FleetConfigBuilder {
+        FleetConfig::builder(
             &[HwEvent::LlcReference, HwEvent::LlcMiss],
             Duration::from_micros(500),
         )
@@ -886,7 +1062,7 @@ mod tests {
 
     #[test]
     fn fleet_run_collects_every_machines_samples() {
-        let outcome = FleetRunner::new(quick_config())
+        let outcome = FleetRunner::new(quick_config().build())
             .run((0..4).map(spec).collect())
             .unwrap();
         assert_eq!(outcome.machines.len(), 4);
@@ -918,7 +1094,7 @@ mod tests {
         // on every machine — a deterministic, non-retryable error, so the
         // whole fleet is lost and every failure must be aggregated (not
         // just the first, as the old single-error path did).
-        let bad = FleetConfig::new(
+        let bad = FleetConfig::builder(
             &[
                 HwEvent::Load,
                 HwEvent::Store,
@@ -928,7 +1104,8 @@ mod tests {
             ],
             Duration::from_millis(1),
         )
-        .machine(MachineConfig::test_tiny);
+        .machine(MachineConfig::test_tiny)
+        .build();
         specs.truncate(2);
         let err = FleetRunner::new(bad).run(specs).unwrap_err();
         let FleetError::Machines { failures } = err else {
@@ -946,7 +1123,9 @@ mod tests {
     #[test]
     fn injected_tick_clock_makes_timing_deterministic() {
         let run = || {
-            let cfg = quick_config().clock(Arc::new(crate::clock::TickClock::new(100)));
+            let cfg = quick_config()
+                .clock(Arc::new(crate::clock::TickClock::new(100)))
+                .build();
             FleetRunner::new(cfg)
                 .run((0..2).map(spec).collect())
                 .unwrap()
@@ -961,7 +1140,9 @@ mod tests {
 
     #[test]
     fn metrics_table_renders_after_a_run() {
-        let outcome = FleetRunner::new(quick_config()).run(vec![spec(0)]).unwrap();
+        let outcome = FleetRunner::new(quick_config().build())
+            .run(vec![spec(0)])
+            .unwrap();
         let table = outcome.metrics_table();
         assert!(table.contains("samples ingested"));
         assert!(table.contains("stream stalls"));
@@ -969,7 +1150,7 @@ mod tests {
 
     #[test]
     fn healthy_fleet_reports_no_stalls() {
-        let outcome = FleetRunner::new(quick_config())
+        let outcome = FleetRunner::new(quick_config().build())
             .run((0..3).map(spec).collect())
             .unwrap();
         assert_eq!(outcome.watchdog.total_stalls(), 0);
@@ -979,9 +1160,13 @@ mod tests {
 
     #[test]
     fn injected_fault_plan_reaches_every_machine() {
-        let outcome = FleetRunner::new(quick_config().faults(ksim::FaultPlan::ring_pressure(0.5)))
-            .run((0..3).map(spec).collect())
-            .unwrap();
+        let outcome = FleetRunner::new(
+            quick_config()
+                .faults(ksim::FaultPlan::ring_pressure(0.5))
+                .build(),
+        )
+        .run((0..3).map(spec).collect())
+        .unwrap();
         for report in &outcome.machines {
             let status = &report.outcome.status;
             assert!(
@@ -1002,7 +1187,7 @@ mod tests {
     #[test]
     fn transports_are_digest_identical_on_clean_runs() {
         let run = |t: Transport| {
-            FleetRunner::new(quick_config().transport(t))
+            FleetRunner::new(quick_config().transport(t).build())
                 .run((0..3).map(spec).collect())
                 .unwrap()
         };
@@ -1024,7 +1209,8 @@ mod tests {
             FleetRunner::new(
                 quick_config()
                     .transport(t)
-                    .faults(ksim::FaultPlan::ring_pressure(0.4)),
+                    .faults(ksim::FaultPlan::ring_pressure(0.4))
+                    .build(),
             )
             .run((0..3).map(spec).collect())
             .unwrap()
@@ -1047,12 +1233,12 @@ mod tests {
         let config = quick_config()
             .faults(ksim::FaultPlan::ring_pressure(0.4))
             .persist(&dir);
-        let live = FleetRunner::new(config.clone())
+        let live = FleetRunner::new(config.clone().build())
             .run((0..3).map(spec).collect())
             .unwrap();
         for transport in [Transport::SpscRing, Transport::MutexChannel] {
             let replayer = ktrace::TraceReplayer::load_dir(&dir).unwrap();
-            let replayed = FleetRunner::new(config.clone().transport(transport))
+            let replayed = FleetRunner::new(config.clone().transport(transport).build())
                 .replay(replayer.streams)
                 .unwrap();
             assert_eq!(live.digest(), replayed.digest(), "{transport:?}");
@@ -1070,7 +1256,7 @@ mod tests {
         let config = quick_config()
             .faults(ksim::FaultPlan::ring_pressure(0.4))
             .persist(&dir);
-        let live = FleetRunner::new(config.clone())
+        let live = FleetRunner::new(config.clone().build())
             .run((0..3).map(spec).collect())
             .unwrap();
         assert!(live
@@ -1081,7 +1267,9 @@ mod tests {
         let replayer = ktrace::TraceReplayer::load_dir(&dir).unwrap();
         assert_eq!(replayer.streams.len(), 3);
         assert!(replayer.all_clean(), "clean recording recovers cleanly");
-        let replayed = FleetRunner::new(config).replay(replayer.streams).unwrap();
+        let replayed = FleetRunner::new(config.build())
+            .replay(replayer.streams)
+            .unwrap();
 
         assert_eq!(
             live.digest(),
@@ -1101,7 +1289,7 @@ mod tests {
     fn persisted_ledger_matches_the_live_outcome() {
         let dir = std::env::temp_dir().join(format!("fleet-persist-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let live = FleetRunner::new(quick_config().persist(&dir))
+        let live = FleetRunner::new(quick_config().persist(&dir).build())
             .run((0..2).map(spec).collect())
             .unwrap();
         let replayer = ktrace::TraceReplayer::load_dir(&dir).unwrap();
@@ -1122,10 +1310,13 @@ mod tests {
         // A 1ns stall timeout quarantines every stream at the first scan
         // after any gap — exercising the stall/resume path without needing
         // a genuinely wedged machine. The run must still be lossless.
-        let outcome =
-            FleetRunner::new(quick_config().stall_timeout(std::time::Duration::from_nanos(1)))
-                .run((0..2).map(spec).collect())
-                .unwrap();
+        let outcome = FleetRunner::new(
+            quick_config()
+                .stall_timeout(std::time::Duration::from_nanos(1))
+                .build(),
+        )
+        .run((0..2).map(spec).collect())
+        .unwrap();
         assert!(outcome.watchdog.total_stalls() >= 1);
         assert!(
             outcome.watchdog.all_recovered(),

@@ -430,6 +430,10 @@ pub(crate) struct StreamProgress {
     /// Every sample forwarded to the collector, across all attempts —
     /// what the trace holds and what a replay will reproduce.
     pub forwarded: Vec<Sample>,
+    /// The last period the rate governor retuned to, if any: a restarted
+    /// incarnation resumes here rather than snapping back to the
+    /// configured rate the ring already proved it cannot sustain.
+    pub governed_period_ns: Option<u64>,
 }
 
 /// The per-attempt [`SampleSink`]: forwards each drained batch to the
@@ -462,6 +466,10 @@ impl SampleSink for SupervisorSink {
             progress.last = Some((sample.seq, sample.timestamp_ns));
         }
         progress.forwarded.extend_from_slice(samples);
+    }
+
+    fn on_retune(&mut self, _seq: u64, period_ns: u64) {
+        self.lock().governed_period_ns = Some(period_ns);
     }
 }
 
@@ -543,6 +551,7 @@ pub(crate) fn supervise_machine(task: MachineTask) -> SupervisedRun {
         trace: trace.clone(),
         last: None,
         forwarded: Vec::new(),
+        governed_period_ns: None,
     }));
 
     let mut breaker = CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown_ns);
@@ -574,6 +583,9 @@ pub(crate) fn supervise_machine(task: MachineTask) -> SupervisedRun {
             let guard = progress.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some((last_seq, last_ts)) = guard.last {
                 monitor = monitor.resume_from(last_seq + 1, last_ts);
+            }
+            if let Some(period_ns) = guard.governed_period_ns {
+                monitor = monitor.governed_resume_period(ksim::Duration::from_nanos(period_ns));
             }
         }
         let sink = Box::new(SupervisorSink(Arc::clone(&progress)));
@@ -632,8 +644,8 @@ pub(crate) fn supervise_machine(task: MachineTask) -> SupervisedRun {
         failed,
         failures,
     };
-    let (status, recovery) = match &outcome {
-        Some(done) => (done.status, done.recovery),
+    let (status, recovery, governor) = match &outcome {
+        Some(done) => (done.status, done.recovery, done.governor),
         None => Default::default(),
     };
     if let Some(shared) = trace {
@@ -642,6 +654,7 @@ pub(crate) fn supervise_machine(task: MachineTask) -> SupervisedRun {
             status,
             recovery,
             health: health.to_stream_health(),
+            governor,
         });
         if let Err(e) = seal {
             // The run's data already reached the collector; a seal

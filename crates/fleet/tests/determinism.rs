@@ -8,12 +8,13 @@ use ksim::{Duration, FixedBlocks, MachineConfig, WorkBlock};
 use pmu::{EventCounts, HwEvent};
 
 fn config() -> FleetConfig {
-    FleetConfig::new(
+    FleetConfig::builder(
         &[HwEvent::LlcReference, HwEvent::LlcMiss],
         Duration::from_micros(500),
     )
     .tuning(KlebTuning::microarchitectural())
     .machine(MachineConfig::test_tiny)
+    .build()
 }
 
 fn specs() -> Vec<MachineSpec> {

@@ -1,0 +1,167 @@
+//! The governed-fleet determinism contract: closed-loop rate control is
+//! pure over (policy × seeds × observed pressure), so governed runs are
+//! as reproducible as ungoverned ones — identical seeds reproduce the
+//! full retune schedule, a calm governor is byte-invisible, and a
+//! governed chaotic recording replays digest-exact.
+
+use fleet::{
+    FleetConfig, FleetConfigBuilder, FleetOutcome, FleetRunner, GovernorPolicy, MachineSpec,
+};
+use kleb::KlebTuning;
+use ksim::{Duration, FaultPlan, FixedBlocks, MachineConfig, WorkBlock};
+use pmu::{EventCounts, HwEvent};
+
+const FLEET_SIZE: u64 = 3;
+const BLOCKS: u64 = 20_000;
+
+/// Ring pressure confined to a 2 ms window of every 8 ms — enough calm
+/// time for the AIMD loop to back off *and* recover, exercising both
+/// control directions.
+fn bursty_pressure() -> FaultPlan {
+    FaultPlan::ring_pressure(0.6).bursts(Duration::from_millis(8), 0.25)
+}
+
+fn policy() -> GovernorPolicy {
+    GovernorPolicy::new()
+        .max_period_factor(8)
+        .depth_threshold_pct(50)
+        .hysteresis(3)
+}
+
+/// Base config: 100 µs period, 1 ms status polls so the governor gets
+/// enough observations within the simulated window to act.
+fn config() -> FleetConfigBuilder {
+    FleetConfig::builder(
+        &[HwEvent::LlcReference, HwEvent::LlcMiss],
+        Duration::from_micros(100),
+    )
+    .tuning(KlebTuning::microarchitectural())
+    .machine(MachineConfig::test_tiny)
+    .drain_interval(Duration::from_millis(1))
+}
+
+fn specs(seed: u64) -> Vec<MachineSpec> {
+    (0..FLEET_SIZE)
+        .map(|i| {
+            MachineSpec::new(format!("node-{i}"), seed + i, move |s| {
+                Box::new(FixedBlocks::new(
+                    BLOCKS + (s % 3) * 200,
+                    WorkBlock::compute(1_000, 2_670)
+                        .with_events(EventCounts::new().with(HwEvent::LlcMiss, 3)),
+                )) as _
+            })
+        })
+        .collect()
+}
+
+fn total_retunes(outcome: &FleetOutcome) -> u32 {
+    outcome.governors.iter().map(|g| g.stats.retunes).sum()
+}
+
+#[test]
+fn governed_same_seed_runs_reproduce_the_retune_schedule() {
+    let run = || {
+        FleetRunner::new(config().faults(bursty_pressure()).govern(policy()).build())
+            .run(specs(7))
+            .expect("governed fleet")
+    };
+    let first = run();
+    let second = run();
+    assert!(
+        total_retunes(&first) > 0,
+        "bursty pressure must drive retunes, or this test proves nothing"
+    );
+    assert_eq!(
+        first.digest(),
+        second.digest(),
+        "governed runs at the same seed must be digest-identical"
+    );
+    // The schedule itself matches, not just the digest: same counters
+    // and same final period on every machine.
+    for (a, b) in first.governors.iter().zip(&second.governors) {
+        assert_eq!(a.stats, b.stats, "governor ledger diverged on {}", a.label);
+    }
+    // And every retune was acknowledged by the module: the SET_PERIOD
+    // handshake never loses an update.
+    for g in &first.governors {
+        assert_eq!(
+            g.stats.acked, g.stats.retunes,
+            "unacked retune on {}",
+            g.label
+        );
+    }
+}
+
+#[test]
+fn calm_governor_is_byte_invisible() {
+    // No faults: the governor observes zero pressure every poll and must
+    // never touch the module, so the governed run is byte-identical to
+    // the ungoverned one — not merely statistically similar.
+    let ungoverned = FleetRunner::new(config().build())
+        .run(specs(11))
+        .expect("ungoverned fleet");
+    let governed = FleetRunner::new(config().govern(policy()).build())
+        .run(specs(11))
+        .expect("governed fleet");
+    assert_eq!(total_retunes(&governed), 0, "calm run must never retune");
+    assert_eq!(
+        ungoverned.digest(),
+        governed.digest(),
+        "an idle governor must not perturb the pipeline"
+    );
+    for (u, g) in ungoverned.machines.iter().zip(&governed.machines) {
+        assert_eq!(
+            u.outcome.samples, g.outcome.samples,
+            "samples diverged on {}",
+            u.label
+        );
+    }
+}
+
+#[test]
+fn governed_chaotic_recording_replays_digest_exact() {
+    let dir = std::env::temp_dir().join(format!(
+        "fleet-governor-replay-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Chaos (timer jitter, drain retries, MSR freezes) on top of the
+    // ring-pressure bursts the governor reacts to, teed to disk.
+    let recording = config()
+        .faults(FaultPlan::chaos(0.1).bursts(Duration::from_millis(8), 0.25))
+        .govern(policy())
+        .persist(&dir)
+        .build();
+    let live = FleetRunner::new(recording.clone())
+        .run(specs(23))
+        .expect("recorded governed fleet");
+    assert!(
+        total_retunes(&live) > 0,
+        "chaotic bursts must drive retunes before replay means anything"
+    );
+
+    let replayer = ktrace::TraceReplayer::load_dir(&dir).expect("recording loads");
+    assert!(replayer.all_clean(), "sealed segments read back clean");
+    let replayed = FleetRunner::new(recording)
+        .replay(replayer.streams)
+        .expect("replay completes");
+
+    assert_eq!(
+        live.digest(),
+        replayed.digest(),
+        "governed record->replay must be digest-exact"
+    );
+    // The governor ledger itself survives the trip through the trace
+    // format's additive governor section.
+    for (l, r) in live.governors.iter().zip(&replayed.governors) {
+        assert_eq!(
+            l.stats, r.stats,
+            "replayed governor ledger diverged on {}",
+            l.label
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,11 +27,13 @@ use ksim::{CoreId, Duration, Machine, ProcessInfo, SimError, Workload};
 
 use crate::config::{ModuleStatus, MonitorConfig};
 use crate::controller::{shared_report, Controller, SampleSink};
+use crate::governor::{GovernorStats, RateGovernor, RatePolicy};
 use crate::module::{KlebModule, KlebTuning};
 use crate::sample::Sample;
 
 /// Errors from a monitoring session.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MonitorError {
     /// The simulation stalled or referenced a missing process.
     Sim(SimError),
@@ -71,6 +73,9 @@ pub struct MonitorOutcome {
     /// Fault-recovery accounting from the controller (retries, kicks,
     /// degraded-mode escalations). All zero on a healthy machine.
     pub recovery: crate::controller::RecoveryStats,
+    /// Rate-governor accounting. All zero when the session was ungoverned
+    /// or the governor never saw pressure.
+    pub governor: GovernorStats,
 }
 
 impl MonitorOutcome {
@@ -107,6 +112,8 @@ pub struct Monitor {
     controller_core: CoreId,
     drain_interval: Option<Duration>,
     resume_base: Option<(u64, u64)>,
+    governor: Option<RatePolicy>,
+    governed_resume_period: Option<Duration>,
 }
 
 impl Monitor {
@@ -124,7 +131,29 @@ impl Monitor {
             controller_core: CoreId(1),
             drain_interval: None,
             resume_base: None,
+            governor: None,
+            governed_resume_period: None,
         }
+    }
+
+    /// Attaches a closed-loop sampling-rate governor: every status poll is
+    /// folded into the AIMD law described in [`crate::governor`], and the
+    /// period is retuned live through the acked `SET_PERIOD` path. The
+    /// policy's base period should match (or floor at) the configured
+    /// period; pass `RatePolicy::new(period.as_nanos())` for the default
+    /// shape.
+    pub fn govern(mut self, policy: RatePolicy) -> Self {
+        self.governor = Some(policy);
+        self
+    }
+
+    /// Resumes a *governed* session at a previously governed period
+    /// (supervisor restart continuity): both the module's initial period
+    /// and the governor's state start from `period` instead of the
+    /// configured base. No-op unless [`Monitor::govern`] is also set.
+    pub fn governed_resume_period(mut self, period: Duration) -> Self {
+        self.governed_resume_period = Some(period);
+        self
     }
 
     /// Overrides the module cost tuning.
@@ -238,7 +267,13 @@ impl Monitor {
         sink: Option<Box<dyn SampleSink>>,
     ) -> Result<MonitorOutcome, MonitorError> {
         let device = machine.register_device(Box::new(KlebModule::with_tuning(self.tuning)));
-        let mut cfg = MonitorConfig::new(target, &self.events, self.period);
+        // A governed resume re-enters at the governed period, not the
+        // configured base: the ring already proved it cannot sustain base.
+        let start_period = match (self.governor.as_ref(), self.governed_resume_period) {
+            (Some(_), Some(p)) => p,
+            _ => self.period,
+        };
+        let mut cfg = MonitorConfig::new(target, &self.events, start_period);
         cfg.track_children = self.track_children;
         cfg.buffer_capacity = self.buffer_capacity;
         cfg.count_kernel = self.count_kernel;
@@ -256,6 +291,10 @@ impl Monitor {
         }
         if let Some(sink) = sink {
             controller_workload = controller_workload.with_sink(sink);
+        }
+        if let Some(policy) = self.governor {
+            controller_workload = controller_workload
+                .with_governor(RateGovernor::resumed(policy, start_period.as_nanos()));
         }
         let controller = machine.spawn(
             "kleb-ctl",
@@ -276,6 +315,7 @@ impl Monitor {
             status: guard.final_status.unwrap_or_default(),
             events: self.events.clone(),
             recovery: guard.recovery,
+            governor: guard.governor,
         })
     }
 }
@@ -401,6 +441,66 @@ mod tests {
         let outcome = quick_outcome(500);
         let series = outcome.series(HwEvent::LlcMiss).unwrap();
         assert_eq!(series.len(), outcome.samples.len());
+    }
+
+    fn governed_outcome(seed: u64, pressure: f64) -> MonitorOutcome {
+        let mut cfg = MachineConfig::test_tiny(seed);
+        cfg.faults = ksim::FaultPlan::ring_pressure(pressure);
+        let mut machine = Machine::new(cfg);
+        let base = Duration::from_micros(100);
+        // A run long enough for many live status polls (the governor only
+        // acts at polls), with polls at every millisecond.
+        Monitor::new(&[HwEvent::LlcMiss], base)
+            .tuning(KlebTuning::microarchitectural())
+            .drain_interval(Duration::from_millis(1))
+            .govern(crate::RatePolicy::new(base.as_nanos()))
+            .run(
+                &mut machine,
+                "t",
+                Box::new(FixedBlocks::new(30_000, WorkBlock::compute(1_000, 2_670))),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn governed_run_retunes_under_ring_pressure_and_acks_every_retune() {
+        let outcome = governed_outcome(5, 0.5);
+        let gov = outcome.governor;
+        assert!(
+            gov.retunes > 0,
+            "50% ring pressure must drive retunes: {gov:?}"
+        );
+        assert_eq!(
+            gov.acked, gov.retunes,
+            "every retune lands via the acked ioctl"
+        );
+        assert!(
+            gov.last_period_ns > 100_000,
+            "the governed period must back off from base: {gov:?}"
+        );
+        assert!(
+            outcome.samples.iter().any(|s| s.retune),
+            "each acked retune stamps the next sample with the retune flag"
+        );
+    }
+
+    #[test]
+    fn governed_run_without_pressure_matches_ungoverned_byte_for_byte() {
+        let governed = governed_outcome(9, 0.0);
+        assert_eq!(governed.governor, crate::GovernorStats::default());
+        let mut machine = Machine::new(MachineConfig::test_tiny(9));
+        let base = Duration::from_micros(100);
+        let plain = Monitor::new(&[HwEvent::LlcMiss], base)
+            .tuning(KlebTuning::microarchitectural())
+            .drain_interval(Duration::from_millis(1))
+            .run(
+                &mut machine,
+                "t",
+                Box::new(FixedBlocks::new(30_000, WorkBlock::compute(1_000, 2_670))),
+            )
+            .unwrap();
+        assert_eq!(governed.samples, plain.samples);
+        assert_eq!(governed.status, plain.status);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::config::{
     ModuleStatus, MonitorConfig, IOCTL_CONFIG, IOCTL_KICK, IOCTL_SET_PERIOD, IOCTL_START,
     IOCTL_STATUS, IOCTL_STOP,
 };
+use crate::governor::{GovernorStats, PressureSample, RateDecision, RateGovernor};
 use crate::sample::{Sample, RECORD_BYTES};
 
 /// Receives every drained sample batch as it leaves the kernel buffer,
@@ -34,6 +35,13 @@ pub trait SampleSink: Send + std::fmt::Debug {
 
     /// Called once after the final drain, when no more batches will follow.
     fn on_complete(&mut self) {}
+
+    /// Called when the module acks a governor retune: `period_ns` is now
+    /// in effect. Supervisors use this to restart a crashed machine at its
+    /// governed period rather than the configured one.
+    fn on_retune(&mut self, seq: u64, period_ns: u64) {
+        let _ = (seq, period_ns);
+    }
 }
 
 /// What the controller did to survive a degraded machine: every retry,
@@ -72,6 +80,9 @@ pub struct ControllerReport {
     pub drains: u64,
     /// Fault-recovery accounting (all zero on a healthy machine).
     pub recovery: RecoveryStats,
+    /// Rate-governor accounting (all zero when ungoverned or never
+    /// pressured).
+    pub governor: GovernorStats,
 }
 
 /// Handle to a [`ControllerReport`] shared with a running controller.
@@ -121,6 +132,7 @@ enum Phase {
     Stop,
     AfterKick,
     AfterSetPeriod,
+    AfterRetune { seq: u64, period_ns: u64 },
     FinalDrain,
     FinalStatus,
     Done,
@@ -148,8 +160,13 @@ pub struct Controller {
     last_taken: Option<u64>,
     /// `samples_dropped` at the previous status poll (degrade detector).
     last_dropped: u64,
+    /// `pauses` at the previous status poll (governor pressure signal).
+    last_pauses: u64,
     /// Period doublings issued so far.
     doublings: u32,
+    /// Closed-loop rate governor; `None` keeps the legacy degraded-mode
+    /// doubling as the only period control.
+    governor: Option<RateGovernor>,
     /// Rebase applied to every decoded sample (restart re-entry). `None`
     /// for a first run — the zero-cost common case.
     resume_base: Option<ResumeBase>,
@@ -198,9 +215,20 @@ impl Controller {
             final_attempt: 0,
             last_taken: None,
             last_dropped: 0,
+            last_pauses: 0,
             doublings: 0,
+            governor: None,
             resume_base: None,
         }
+    }
+
+    /// Attaches a closed-loop rate governor. The governor takes over
+    /// period control from the legacy degraded-mode doubling: every status
+    /// poll is folded into its AIMD law, and retunes flow through the
+    /// acked `SET_PERIOD` form.
+    pub fn with_governor(mut self, governor: RateGovernor) -> Self {
+        self.governor = Some(governor);
+        self
     }
 
     /// Streams every drained batch into `sink` (in addition to the report).
@@ -385,14 +413,41 @@ impl Workload for Controller {
                     };
                     match status {
                         Some(s) if s.target_alive => {
+                            let drop_delta = s.samples_dropped.saturating_sub(self.last_dropped);
+                            self.last_dropped = s.samples_dropped;
+                            let pause_delta = s.pauses.saturating_sub(self.last_pauses);
+                            self.last_pauses = s.pauses;
+                            let stalled = self.last_taken == Some(s.samples_taken) && !s.paused;
+                            self.last_taken = Some(s.samples_taken);
+                            // Closed-loop governed mode: the AIMD governor
+                            // owns period control and supersedes the legacy
+                            // degraded-mode doubling below.
+                            if let Some(gov) = &mut self.governor {
+                                let decision = gov.observe(PressureSample {
+                                    drop_delta,
+                                    pause_delta,
+                                    buffered: s.buffered,
+                                    capacity: self.cfg.buffer_capacity as u64,
+                                });
+                                lock_report(&self.report).governor = gov.stats();
+                                if let RateDecision::Retune { period_ns, seq } = decision {
+                                    self.phase = Phase::AfterRetune { seq, period_ns };
+                                    let mut payload = period_ns.to_le_bytes().to_vec();
+                                    payload.extend_from_slice(&seq.to_le_bytes());
+                                    return Some(self.ioctl(IOCTL_SET_PERIOD, payload));
+                                }
+                                if stalled {
+                                    lock_report(&self.report).recovery.kicks += 1;
+                                    self.phase = Phase::AfterKick;
+                                    return Some(self.ioctl(IOCTL_KICK, Vec::new()));
+                                }
+                                self.phase = Phase::Sleep;
+                                continue;
+                            }
                             // Degraded-mode fallback: when drops since the
                             // last poll exceed the threshold, the machine
                             // cannot sustain this period — double it
                             // (bounded) instead of losing samples silently.
-                            let drop_delta = s.samples_dropped.saturating_sub(self.last_dropped);
-                            self.last_dropped = s.samples_dropped;
-                            let stalled = self.last_taken == Some(s.samples_taken) && !s.paused;
-                            self.last_taken = Some(s.samples_taken);
                             if drop_delta > DEGRADE_DROP_THRESHOLD
                                 && self.doublings < MAX_PERIOD_DOUBLINGS
                                 && s.period_ns > 0
@@ -434,6 +489,18 @@ impl Workload for Controller {
                 Phase::AfterSetPeriod => {
                     // Success or not, go back to monitoring; the new period
                     // shows up in the next status poll.
+                    self.phase = Phase::Sleep;
+                }
+                Phase::AfterRetune { seq, period_ns } => {
+                    if prev.retval() == Some(seq as i64) {
+                        if let Some(gov) = &mut self.governor {
+                            gov.acked(seq);
+                            lock_report(&self.report).governor = gov.stats();
+                        }
+                        if let Some(sink) = &mut self.sink {
+                            sink.on_retune(seq, period_ns);
+                        }
+                    }
                     self.phase = Phase::Sleep;
                 }
                 Phase::FinalDrain => {

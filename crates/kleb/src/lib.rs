@@ -34,6 +34,7 @@
 pub mod api;
 pub mod config;
 pub mod controller;
+pub mod governor;
 pub mod log;
 pub mod module;
 pub mod sample;
@@ -43,6 +44,7 @@ pub use config::{ConfigError, ModuleStatus, MonitorConfig};
 pub use controller::{
     shared_report, Controller, ControllerReport, RecoveryStats, SampleSink, SharedReport,
 };
+pub use governor::{GovernorStats, PressureSample, RateDecision, RateGovernor, RatePolicy};
 pub use log::{parse_csv, render_csv, LogParseError};
 pub use module::{KlebModule, KlebTuning};
 pub use sample::{Sample, RECORD_BYTES};

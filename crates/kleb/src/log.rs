@@ -43,7 +43,7 @@ impl std::fmt::Display for LogParseError {
 
 impl std::error::Error for LogParseError {}
 
-const FIXED_HEADERS: [&str; 5] = ["timestamp_ns", "seq", "pid", "final", "gap"];
+const FIXED_HEADERS: [&str; 6] = ["timestamp_ns", "seq", "pid", "final", "gap", "retune"];
 const FIXED_COUNTERS: [&str; 3] = ["INST_RETIRED", "CORE_CYCLES", "REF_CYCLES"];
 
 /// Renders samples as the controller's CSV log.
@@ -62,12 +62,13 @@ pub fn render_csv(samples: &[Sample], events: &[HwEvent]) -> String {
     out.push('\n');
     for s in samples {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{}",
             s.timestamp_ns,
             s.seq,
             s.pid,
             s.final_sample as u8,
             s.gap as u8,
+            s.retune as u8,
             s.fixed[0],
             s.fixed[1],
             s.fixed[2]
@@ -133,6 +134,7 @@ pub fn parse_csv(log: &str) -> Result<(Vec<HwEvent>, Vec<Sample>), LogParseError
             pid: num(2)? as u32,
             final_sample: num(3)? != 0,
             gap: num(4)? != 0,
+            retune: num(5)? != 0,
             ..Sample::default()
         };
         for i in 0..3 {
@@ -158,6 +160,7 @@ mod tests {
                 pid: 3,
                 final_sample: false,
                 gap: false,
+                retune: false,
                 fixed: [10, 20, 30],
                 pmc: [1, 2, 0, 0],
             },
@@ -167,6 +170,7 @@ mod tests {
                 pid: 3,
                 final_sample: true,
                 gap: true,
+                retune: true,
                 fixed: [11, 21, 31],
                 pmc: [4, 5, 0, 0],
             },
@@ -186,13 +190,15 @@ mod tests {
         assert_eq!(back[1].seq, 2);
         assert!(back[1].gap);
         assert!(!back[0].gap);
+        assert!(back[1].retune);
+        assert!(!back[0].retune);
     }
 
     #[test]
     fn header_is_self_describing() {
         let csv = render_csv(&[], &[HwEvent::Load]);
         assert!(csv.starts_with(
-            "timestamp_ns,seq,pid,final,gap,INST_RETIRED,CORE_CYCLES,REF_CYCLES,LOAD"
+            "timestamp_ns,seq,pid,final,gap,retune,INST_RETIRED,CORE_CYCLES,REF_CYCLES,LOAD"
         ));
     }
 
@@ -210,7 +216,7 @@ mod tests {
             Err(LogParseError::BadArity { .. })
         ));
         let bad_field = format!(
-            "{}\n1,0,notanumber,0,0,1,2,3,4",
+            "{}\n1,0,notanumber,0,0,0,1,2,3,4",
             good.lines().next().unwrap()
         );
         assert!(matches!(
@@ -222,7 +228,7 @@ mod tests {
     #[test]
     fn unknown_event_mnemonic_rejected() {
         let csv =
-            "timestamp_ns,seq,pid,final,gap,INST_RETIRED,CORE_CYCLES,REF_CYCLES,NOT_AN_EVENT\n";
+            "timestamp_ns,seq,pid,final,gap,retune,INST_RETIRED,CORE_CYCLES,REF_CYCLES,NOT_AN_EVENT\n";
         assert_eq!(parse_csv(csv), Err(LogParseError::BadHeader));
     }
 

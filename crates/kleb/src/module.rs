@@ -105,6 +105,10 @@ struct Armed {
     /// The next buffered sample must carry the gap marker (a drop happened
     /// since the last buffered record).
     pending_gap: bool,
+    /// The next buffered sample must carry the retune marker (an acked
+    /// `SET_PERIOD` landed since the last buffered record), so the sample
+    /// stream records exactly where the new cadence began.
+    pending_retune: bool,
     /// Usable ring capacity: the configured capacity minus whatever the
     /// fault plan's `ring_shrink` withholds. Equal to
     /// `cfg.buffer_capacity` on a healthy machine.
@@ -233,6 +237,7 @@ impl KlebModule {
             samples_dropped: 0,
             next_seq: 0,
             pending_gap: false,
+            pending_retune: false,
             effective_capacity,
             pauses: 0,
             enable_mask,
@@ -343,6 +348,8 @@ impl KlebModule {
         } else {
             sample.gap = a.pending_gap;
             a.pending_gap = false;
+            sample.retune = a.pending_retune;
+            a.pending_retune = false;
             a.buffer.push_back(sample);
         }
 
@@ -380,24 +387,46 @@ impl KlebModule {
     }
 
     /// Changes the sampling period of a configured monitor
-    /// ([`IOCTL_SET_PERIOD`]): payload is a little-endian `u64` in
-    /// nanoseconds, effective at the next re-arm.
+    /// ([`IOCTL_SET_PERIOD`]).
+    ///
+    /// Two payload forms are accepted:
+    ///
+    /// * 8 bytes — a little-endian `u64` period in nanoseconds (the
+    ///   original form, used by degraded-mode doubling); retval 0.
+    /// * 16 bytes — period followed by a little-endian `u64` retune
+    ///   sequence number. The module acks by returning the sequence
+    ///   number, and marks the next buffered sample with the retune flag
+    ///   so the stream records the deterministic batch boundary where the
+    ///   new cadence began (the governor's record/replay contract).
     fn set_period(&mut self, ctx: &mut KernelCtx<'_>, payload: &[u8]) -> Result<i64, Errno> {
         let Some(a) = self.armed.as_mut() else {
             return Err(Errno::Perm);
         };
-        let bytes: [u8; 8] = payload.try_into().map_err(|_| Errno::Inval)?;
-        let period_ns = u64::from_le_bytes(bytes);
+        let (period_ns, ack_seq) = match payload.len() {
+            8 => {
+                let bytes: [u8; 8] = payload.try_into().map_err(|_| Errno::Inval)?;
+                (u64::from_le_bytes(bytes), None)
+            }
+            16 => {
+                let period: [u8; 8] = payload[..8].try_into().map_err(|_| Errno::Inval)?;
+                let seq: [u8; 8] = payload[8..].try_into().map_err(|_| Errno::Inval)?;
+                (u64::from_le_bytes(period), Some(u64::from_le_bytes(seq)))
+            }
+            _ => return Err(Errno::Inval),
+        };
         if period_ns == 0 {
             return Err(Errno::Inval);
         }
         a.cfg.period_ns = period_ns;
+        if ack_seq.is_some() {
+            a.pending_retune = true;
+        }
         // If the timer is live, re-arm on the new cadence immediately:
-        // degraded mode must take effect now, not at the next stale expiry.
+        // the retune must take effect now, not at the next stale expiry.
         if a.running && a.active && !a.paused {
             Self::rearm_periodic(ctx, a);
         }
-        Ok(0)
+        Ok(ack_seq.map_or(0, |seq| seq as i64))
     }
 }
 
@@ -956,6 +985,108 @@ mod tests {
         let r = retvals.lock().unwrap();
         // set_period: ok, then EINVAL for short payload and zero period.
         assert!(r.windows(3).any(|w| w == [0, -22, -22]), "retvals: {r:?}");
+    }
+
+    #[test]
+    fn set_period_with_seq_acks_and_marks_the_next_sample() {
+        let mut machine = Machine::new(MachineConfig::test_tiny(5));
+        let device = machine.register_device(Box::new(KlebModule::with_tuning(
+            KlebTuning::microarchitectural(),
+        )));
+        let target = machine.spawn_suspended("target", ksim::CoreId(0), compute_workload());
+        let mon = MonitorConfig::new(target, &[HwEvent::Load], Duration::from_micros(100));
+
+        #[derive(Debug)]
+        struct Retuner {
+            device: ksim::DeviceId,
+            cfg: MonitorConfig,
+            target: Pid,
+            phase: u32,
+            sink: Arc<Mutex<Vec<Sample>>>,
+            retvals: Arc<Mutex<Vec<i64>>>,
+        }
+        impl Workload for Retuner {
+            fn next(&mut self, prev: &ItemResult) -> Option<WorkItem> {
+                if let ItemResult::Syscall { retval, payload } = prev {
+                    self.retvals.lock().unwrap().push(*retval);
+                    if !payload.is_empty() {
+                        self.sink
+                            .lock()
+                            .unwrap()
+                            .extend(Sample::decode_all(payload));
+                    }
+                }
+                let phase = self.phase;
+                self.phase += 1;
+                match phase {
+                    0 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_CONFIG,
+                        payload: self.cfg.to_payload(),
+                    })),
+                    1 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_START,
+                        payload: vec![],
+                    })),
+                    2 => Some(WorkItem::Syscall(Syscall::Resume(self.target))),
+                    3 => Some(WorkItem::Sleep(Duration::from_millis(1))),
+                    4 => {
+                        // Governed form: period + retune sequence number.
+                        let mut payload = 400_000u64.to_le_bytes().to_vec();
+                        payload.extend_from_slice(&42u64.to_le_bytes());
+                        Some(WorkItem::Syscall(Syscall::Ioctl {
+                            device: self.device,
+                            request: IOCTL_SET_PERIOD,
+                            payload,
+                        }))
+                    }
+                    5 => Some(WorkItem::Sleep(Duration::from_millis(2))),
+                    6 => Some(WorkItem::Syscall(Syscall::Ioctl {
+                        device: self.device,
+                        request: IOCTL_STOP,
+                        payload: vec![],
+                    })),
+                    7 => Some(WorkItem::Syscall(Syscall::Read {
+                        device: self.device,
+                        max_bytes: 1 << 20,
+                    })),
+                    _ => None,
+                }
+            }
+        }
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let retvals = Arc::new(Mutex::new(Vec::new()));
+        let controller = machine.spawn(
+            "controller",
+            ksim::CoreId(1),
+            Box::new(Retuner {
+                device,
+                cfg: mon,
+                target,
+                phase: 0,
+                sink: sink.clone(),
+                retvals: retvals.clone(),
+            }),
+        );
+        machine.run_until_exit(controller).unwrap();
+        let r = retvals.lock().unwrap();
+        assert!(r.contains(&42), "the module must ack the retune seq: {r:?}");
+        let samples = sink.lock().unwrap();
+        let marked: Vec<usize> = samples
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.retune)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(marked.len(), 1, "exactly one retune boundary: {marked:?}");
+        let at = marked[0];
+        assert!(at > 0, "samples were taken before the retune landed");
+        // Cadence after the marked sample follows the retuned period.
+        if at + 1 < samples.len() {
+            let dt = samples[at + 1].timestamp_ns - samples[at].timestamp_ns;
+            assert!(dt >= 350_000, "post-retune cadence ~400µs, got {dt}ns");
+        }
     }
 
     #[test]

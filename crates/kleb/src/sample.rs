@@ -21,6 +21,9 @@ use pmu::{NUM_FIXED, NUM_PROGRAMMABLE};
 const FLAG_FINAL: u32 = 1 << 0;
 /// Flags bit: one or more samples were dropped immediately before this one.
 const FLAG_GAP: u32 = 1 << 1;
+/// Flags bit: this is the first sample taken after a live `SET_PERIOD`
+/// retune landed, marking the batch boundary where the new cadence began.
+const FLAG_RETUNE: u32 = 1 << 2;
 
 /// Encoded size of one record: 8 (timestamp) + 8 (seq) + 4 (pid) +
 /// 4 (flags) + 3×8 (fixed) + 4×8 (pmc).
@@ -43,6 +46,10 @@ pub struct Sample {
     /// Set when at least one sample was dropped between the previous
     /// drained record and this one (a gap marker in the series).
     pub gap: bool,
+    /// Set on the first sample taken after a live period retune, so
+    /// governed runs carry their retune schedule in the sample stream
+    /// itself and replay reproduces it byte-for-byte.
+    pub retune: bool,
     /// Fixed-counter deltas: instructions retired, core cycles, ref cycles.
     pub fixed: [u64; NUM_FIXED],
     /// Programmable-counter deltas, in configured event order.
@@ -72,6 +79,9 @@ impl Sample {
         if self.gap {
             flags |= FLAG_GAP;
         }
+        if self.retune {
+            flags |= FLAG_RETUNE;
+        }
         out.extend_from_slice(&flags.to_le_bytes());
         for v in self.fixed {
             out.extend_from_slice(&v.to_le_bytes());
@@ -97,6 +107,7 @@ impl Sample {
             pid: u32_at(16)?,
             final_sample: flags & FLAG_FINAL != 0,
             gap: flags & FLAG_GAP != 0,
+            retune: flags & FLAG_RETUNE != 0,
             ..Sample::default()
         };
         for (i, v) in s.fixed.iter_mut().enumerate() {
@@ -129,6 +140,7 @@ mod tests {
             pid: 42,
             final_sample: true,
             gap: true,
+            retune: false,
             fixed: [1, 2, 3],
             pmc: [10, 20, 30, 40],
         }
@@ -151,16 +163,30 @@ mod tests {
 
     #[test]
     fn flags_round_trip_independently() {
-        for (final_sample, gap) in [(false, false), (true, false), (false, true), (true, true)] {
+        for bits in 0u8..8 {
             let s = Sample {
-                final_sample,
-                gap,
+                final_sample: bits & 1 != 0,
+                gap: bits & 2 != 0,
+                retune: bits & 4 != 0,
                 ..sample()
             };
             let mut buf = Vec::new();
             s.encode_into(&mut buf);
             assert_eq!(Sample::decode(&buf), Some(s));
         }
+    }
+
+    #[test]
+    fn retune_flag_leaves_flagless_bytes_unchanged() {
+        let plain = Sample {
+            final_sample: false,
+            gap: false,
+            retune: false,
+            ..sample()
+        };
+        let mut buf = Vec::new();
+        plain.encode_into(&mut buf);
+        assert_eq!(u32::from_le_bytes(buf[20..24].try_into().unwrap()), 0);
     }
 
     #[test]

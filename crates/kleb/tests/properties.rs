@@ -25,17 +25,18 @@ fn arb_sample() -> impl Strategy<Value = Sample> {
         any::<u64>(),
         any::<u64>(),
         any::<u32>(),
-        (any::<bool>(), any::<bool>()),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
         any::<[u64; 3]>(),
         any::<[u64; 4]>(),
     )
         .prop_map(
-            |(timestamp_ns, seq, pid, (final_sample, gap), fixed, pmc)| Sample {
+            |(timestamp_ns, seq, pid, (final_sample, gap, retune), fixed, pmc)| Sample {
                 timestamp_ns,
                 seq,
                 pid,
                 final_sample,
                 gap,
+                retune,
                 fixed,
                 pmc,
             },

@@ -169,6 +169,16 @@ pub struct FaultPlan {
     /// through unsupervised single-machine monitors; opt in with
     /// [`FaultPlan::thread_panic`] / [`FaultPlan::with_thread_panic`].
     pub thread_panic_rate: f64,
+    /// Burst-window period, nanoseconds. `0` (the default) means faults
+    /// are always eligible — bit-identical to plans predating burst
+    /// windowing. Non-zero confines every fault class to the first
+    /// [`FaultPlan::burst_duty`] fraction of each window of this length
+    /// on the simulated clock: a bursty workload (quiet stretches
+    /// punctuated by pressure spikes) rather than uniform chaos.
+    pub burst_period_ns: u64,
+    /// Fraction of each burst window during which faults may fire, in
+    /// `[0, 1]`. Only meaningful when `burst_period_ns > 0`.
+    pub burst_duty: f64,
 }
 
 impl FaultPlan {
@@ -188,6 +198,8 @@ impl FaultPlan {
         drain_slow_rate: 0.0,
         drain_slow_cycles: 0,
         thread_panic_rate: 0.0,
+        burst_period_ns: 0,
+        burst_duty: 0.0,
     };
 
     /// A balanced all-class plan scaled by `intensity` in `[0, 1]`:
@@ -212,6 +224,8 @@ impl FaultPlan {
             drain_slow_cycles: 5_000,
             // Process-fatal; never enabled implicitly (see the field doc).
             thread_panic_rate: 0.0,
+            burst_period_ns: 0,
+            burst_duty: 0.0,
         }
     }
 
@@ -240,6 +254,30 @@ impl FaultPlan {
             thread_panic_rate: p.clamp(0.0, 1.0),
             ..self
         }
+    }
+
+    /// Returns this plan confined to periodic bursts: faults may fire
+    /// only during the first `duty` fraction of each `period` on the
+    /// simulated clock. `Duration::ZERO` (or a zero duty) disables
+    /// windowing — identical to an always-on plan. The workload shape
+    /// the rate governor exists for: quiet stretches where a short
+    /// period is cheap, spikes where it must back off.
+    pub fn bursts(self, period: crate::Duration, duty: f64) -> FaultPlan {
+        FaultPlan {
+            burst_period_ns: period.as_nanos(),
+            burst_duty: duty.clamp(0.0, 1.0),
+            ..self
+        }
+    }
+
+    /// Whether `now_ns` falls inside a fault-eligible burst window.
+    /// Always true when windowing is off (`burst_period_ns == 0`).
+    pub fn in_burst(&self, now_ns: u64) -> bool {
+        if self.burst_period_ns == 0 {
+            return true;
+        }
+        let open_ns = (self.burst_period_ns as f64 * self.burst_duty) as u64;
+        now_ns % self.burst_period_ns < open_ns
     }
 
     /// The per-opportunity probability for `class`.
@@ -353,6 +391,19 @@ impl FaultState {
             self.stats.record(class);
         }
         hit
+    }
+
+    /// Burst-windowed draw: like [`FaultState::fires`], but gated on
+    /// [`FaultPlan::in_burst`] *before* any RNG use — outside a burst no
+    /// randomness is consumed, so the in-burst draw sequence is a pure
+    /// function of `(plan, seed)` regardless of how many quiet
+    /// opportunities pass between windows. With windowing off this is
+    /// bit-identical to `fires`.
+    pub fn fires_at(&mut self, class: FaultClass, now_ns: u64) -> bool {
+        if !self.plan.in_burst(now_ns) {
+            return false;
+        }
+        self.fires(class)
     }
 
     /// Filters an MSR read through the freeze table: a frozen register
@@ -494,6 +545,65 @@ mod tests {
             draws(&mut FaultState::for_attempt(plan, 11, 1)),
             "each attempt stream is itself deterministic"
         );
+    }
+
+    #[test]
+    fn burst_windowing_gates_draws_and_preserves_the_always_on_stream() {
+        use crate::Duration;
+        let plan = FaultPlan::ring_pressure(1.0);
+        // Windowing off: fires_at is bit-identical to fires.
+        let mut on = FaultState::new(plan, 5);
+        for t in (0..10u64).map(|i| i * 50_000) {
+            assert!(on.fires_at(FaultClass::RingSlot, t));
+        }
+        // 1 ms windows, 25 % duty: eligible only in the first 250 µs.
+        let windowed = plan.bursts(Duration::from_micros(1_000), 0.25);
+        assert!(windowed.in_burst(0));
+        assert!(windowed.in_burst(249_999));
+        assert!(!windowed.in_burst(250_000));
+        assert!(!windowed.in_burst(999_999));
+        assert!(windowed.in_burst(1_000_000), "window repeats");
+        let mut st = FaultState::new(windowed, 5);
+        let rng_before = format!("{:?}", st.rng);
+        assert!(!st.fires_at(FaultClass::RingSlot, 600_000));
+        // Outside the burst nothing was drawn: the RNG is untouched and
+        // the quiet opportunity leaves no trace in the stats.
+        assert_eq!(format!("{:?}", st.rng), rng_before);
+        assert_eq!(st.stats().total(), 0);
+        assert!(st.fires_at(FaultClass::RingSlot, 1_100_000));
+        // Zero duty closes every window; zero period reopens them all.
+        assert!(!plan.bursts(Duration::from_micros(1_000), 0.0).in_burst(0));
+        assert!(plan.bursts(Duration::ZERO, 0.25).in_burst(777));
+    }
+
+    #[test]
+    fn burst_draw_sequence_is_independent_of_quiet_opportunities() {
+        use crate::Duration;
+        let plan = FaultPlan::ring_pressure(0.5).bursts(Duration::from_micros(1_000), 0.25);
+        // Two runs probing the same in-burst instants, one with many
+        // extra quiet-period probes interleaved: identical draw results.
+        let bursts: Vec<u64> = (0..64).map(|i| i * 1_000_000 + 100_000).collect();
+        let sparse: Vec<bool> = {
+            let mut st = FaultState::new(plan, 9);
+            bursts
+                .iter()
+                .map(|&t| st.fires_at(FaultClass::RingSlot, t))
+                .collect()
+        };
+        let dense: Vec<bool> = {
+            let mut st = FaultState::new(plan, 9);
+            bursts
+                .iter()
+                .map(|&t| {
+                    for q in 0..17 {
+                        assert!(!st.fires_at(FaultClass::RingSlot, t + 200_000 + q));
+                    }
+                    st.fires_at(FaultClass::RingSlot, t)
+                })
+                .collect()
+        };
+        assert_eq!(sparse, dense);
+        assert!(sparse.iter().any(|&b| b) && sparse.iter().any(|&b| !b));
     }
 
     #[test]

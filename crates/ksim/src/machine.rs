@@ -488,7 +488,10 @@ impl Machine {
                 // a software bug there kills the monitoring thread. The
                 // panic message is a pure function of (plan, seed,
                 // attempt) — supervised replays are byte-identical.
-                if self.faults.fires(FaultClass::ThreadPanic) {
+                if self
+                    .faults
+                    .fires_at(FaultClass::ThreadPanic, ev.time.as_nanos())
+                {
                     panic!(
                         "injected fault: thread panic at {} ns (timer expiry on core {})",
                         ev.time.as_nanos(),
@@ -715,7 +718,8 @@ impl Machine {
                 }
             }
             Syscall::Read { device, max_bytes } => {
-                if self.faults.fires(FaultClass::DrainFail) {
+                let now_ns = self.cores[core.0].now.as_nanos();
+                if self.faults.fires_at(FaultClass::DrainFail, now_ns) {
                     // The drain syscall fails before reaching the device
                     // (transient copy/lock failure): EAGAIN, retryable.
                     ItemResult::Syscall {
@@ -723,7 +727,7 @@ impl Machine {
                         payload: Vec::new(),
                     }
                 } else {
-                    if self.faults.fires(FaultClass::DrainSlow) {
+                    if self.faults.fires_at(FaultClass::DrainSlow, now_ns) {
                         let slow = self.cfg.faults.drain_slow_cycles;
                         self.charge_kernel(core, Some(pid), slow);
                     }
@@ -867,11 +871,12 @@ impl Machine {
         self.charge_kernel(core, prev, cs);
         // Kprobes on the context-switch path: every module sees it —
         // unless the chaos layer drops or delays this delivery.
+        let now_ns = self.cores[core.0].now.as_nanos();
         for id in 0..self.devices.len() {
-            if self.faults.fires(FaultClass::CtxswDrop) {
+            if self.faults.fires_at(FaultClass::CtxswDrop, now_ns) {
                 continue; // probe notification lost for this device
             }
-            if self.faults.fires(FaultClass::CtxswLate) {
+            if self.faults.fires_at(FaultClass::CtxswLate, now_ns) {
                 let late = self.cfg.faults.ctxsw_late_cycles;
                 self.charge_kernel(core, prev, late);
             }
@@ -1146,11 +1151,21 @@ impl KernelCtx<'_> {
     pub fn timer_arm(&mut self, timer: TimerId, deadline: Instant) {
         self.charge_kernel_cycles(self.machine.cfg.cost.hrtimer_program);
         let mut slip = self.machine.cfg.jitter.sample(&mut self.machine.rng);
-        if self.machine.faults.fires(FaultClass::TimerDelay) {
+        // Timer faults are gated on the *expiry* instant: a burst window
+        // perturbs the timers that would fire inside it.
+        if self
+            .machine
+            .faults
+            .fires_at(FaultClass::TimerDelay, deadline.as_nanos())
+        {
             slip += Duration::from_nanos(self.machine.cfg.faults.timer_delay_ns);
         }
         let generation = self.machine.timers.arm(timer, deadline);
-        if self.machine.faults.fires(FaultClass::TimerMiss) {
+        if self
+            .machine
+            .faults
+            .fires_at(FaultClass::TimerMiss, deadline.as_nanos())
+        {
             return; // expiry interrupt lost: armed, but never fires
         }
         let core = self.machine.timers.get(timer).core;
@@ -1185,7 +1200,8 @@ impl KernelCtx<'_> {
     /// kleb's ring-buffer slot loss, [`FaultClass::RingSlot`]). Always
     /// false, with no RNG draw, when the class is disabled.
     pub fn fault_fires(&mut self, class: FaultClass) -> bool {
-        self.machine.faults.fires(class)
+        let now_ns = self.machine.cores[self.core.0].now.as_nanos();
+        self.machine.faults.fires_at(class, now_ns)
     }
 
     /// The machine's fault plan (devices read magnitude knobs like

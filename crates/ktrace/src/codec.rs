@@ -142,6 +142,7 @@ pub fn encode_block_into(
 
     put_sparse_flags(payload, samples, |s| s.final_sample);
     put_sparse_flags(payload, samples, |s| s.gap);
+    let any_retune = samples.iter().any(|s| s.retune);
 
     let mut lane_mask = 0u16;
     for lane in 0..NUM_LANES {
@@ -162,6 +163,14 @@ pub fn encode_block_into(
                 );
             }
         }
+    }
+
+    // Retune markers ride as a trailing sparse list, present only when at
+    // least one sample carries the flag: retune-free blocks stay
+    // byte-identical to the original format, and old traces (which never
+    // have trailing bytes here) decode unchanged.
+    if any_retune {
+        put_sparse_flags(payload, samples, |s| s.retune);
     }
 
     BlockSummary {
@@ -262,6 +271,17 @@ pub fn decode_block(payload: &[u8], count: usize) -> Option<(Vec<Sample>, Vec<u6
         }
     }
 
+    // Trailing bytes, if any, are the retune sparse list (absent when no
+    // sample was retune-flagged — and always absent in v1 traces).
+    if *pos != payload.len() {
+        let indices = get_sparse_flags(payload, pos, count)?;
+        if indices.is_empty() {
+            return None; // an empty list is never emitted
+        }
+        for i in indices {
+            samples[i].retune = true;
+        }
+    }
     if *pos != payload.len() {
         return None; // trailing bytes: not something this codec wrote
     }
@@ -280,6 +300,7 @@ mod tests {
                 pid: 42,
                 final_sample: i == n - 1,
                 gap: i % 5 == 4,
+                retune: false,
                 fixed: [1_000 + i % 7, 2_670 + i % 13, 2_000],
                 pmc: [40 + i % 11, i % 3, 0, 0],
             })
@@ -315,6 +336,30 @@ mod tests {
         let enc = encode_block(&samples, &[512]);
         let per = enc.payload.len() as f64 / samples.len() as f64;
         assert!(per < 10.0, "got {per:.2} bytes/sample");
+    }
+
+    #[test]
+    fn retune_flags_round_trip() {
+        let mut samples = stream(50);
+        samples[7].retune = true;
+        samples[31].retune = true;
+        let enc = encode_block(&samples, &[50]);
+        let (decoded, _) = decode_block(&enc.payload, 50).unwrap();
+        assert_eq!(decoded, samples);
+    }
+
+    #[test]
+    fn retune_free_blocks_are_byte_identical_to_the_v1_encoding() {
+        // The retune list is strictly additive: a block with no retune
+        // flags must not spend a single byte on it, so traces written
+        // before the governor existed decode and re-encode unchanged.
+        let samples = stream(50);
+        let plain = encode_block(&samples, &[50]);
+        let mut flagged = samples.clone();
+        flagged[7].retune = true;
+        let with = encode_block(&flagged, &[50]);
+        assert!(with.payload.len() > plain.payload.len());
+        assert_eq!(&with.payload[..plain.payload.len()], &plain.payload[..]);
     }
 
     #[test]

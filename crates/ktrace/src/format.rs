@@ -16,7 +16,7 @@
 //! `first_index` so corruption losses are *counted*, not guessed.
 
 use crate::crc::crc32;
-use kleb::{ModuleStatus, RecoveryStats};
+use kleb::{GovernorStats, ModuleStatus, RecoveryStats};
 use pmu::{HwEvent, ALL_EVENTS, NUM_FIXED, NUM_PROGRAMMABLE};
 
 /// File magic: identifies a ktrace segment, version 1.
@@ -35,6 +35,7 @@ pub const KIND_LEDGER: u8 = 2;
 
 /// Why a trace could not be written or opened.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum TraceError {
     /// An underlying I/O operation failed.
     Io(std::io::Error),
@@ -299,15 +300,27 @@ pub struct StreamLedger {
     /// The supervisor's verdict on the producer (all-default when the
     /// stream ran unsupervised or cleanly).
     pub health: StreamHealth,
+    /// The rate governor's retune accounting (all-default when the stream
+    /// ran ungoverned or the governor never acted).
+    pub governor: GovernorStats,
 }
 
 impl StreamLedger {
-    /// Encoded payload length, bytes.
+    /// Encoded payload length of the base layout, bytes. Ledgers with
+    /// governor activity append [`Self::GOVERNOR_LEN`] more.
     pub const ENCODED_LEN: usize = 96;
+    /// Length of the optional trailing governor section, bytes.
+    pub const GOVERNOR_LEN: usize = 32;
 
     /// Encodes the fixed-layout ledger payload.
+    ///
+    /// The governor section is strictly additive: it is appended only
+    /// when the governor acted, so ungoverned (and calm governed) streams
+    /// encode exactly as the pre-governor format did — old traces decode
+    /// unchanged and zero-pressure governed traces stay byte-identical to
+    /// ungoverned ones.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN + Self::GOVERNOR_LEN);
         out.extend_from_slice(&self.samples_written.to_le_bytes());
         out.push(self.status.target_alive as u8);
         out.push(self.status.paused as u8);
@@ -332,13 +345,28 @@ impl StreamLedger {
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        if !self.governor.is_idle() {
+            let counts = u64::from(self.governor.retunes) | u64::from(self.governor.acked) << 32;
+            let shape =
+                u64::from(self.governor.clamps) | u64::from(self.governor.oscillations) << 32;
+            for v in [
+                counts,
+                shape,
+                self.governor.last_period_ns,
+                self.governor.max_period_ns,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
         out
     }
 
-    /// Decodes a ledger payload; `None` if it is not exactly
-    /// [`Self::ENCODED_LEN`] bytes.
+    /// Decodes a ledger payload; `None` unless it is exactly
+    /// [`Self::ENCODED_LEN`] bytes (no governor section) or
+    /// [`Self::ENCODED_LEN`]` + `[`Self::GOVERNOR_LEN`] bytes.
     pub fn decode(bytes: &[u8]) -> Option<StreamLedger> {
-        if bytes.len() != Self::ENCODED_LEN {
+        if bytes.len() != Self::ENCODED_LEN && bytes.len() != Self::ENCODED_LEN + Self::GOVERNOR_LEN
+        {
             return None;
         }
         let u64_at = |o: usize| {
@@ -374,6 +402,20 @@ impl StreamLedger {
                     breaker_state: (word >> 56) as u8,
                     failed: bytes[11] != 0,
                 }
+            },
+            governor: if bytes.len() == Self::ENCODED_LEN + Self::GOVERNOR_LEN {
+                let counts = u64_at(96);
+                let shape = u64_at(104);
+                GovernorStats {
+                    retunes: counts as u32,
+                    acked: (counts >> 32) as u32,
+                    clamps: shape as u32,
+                    oscillations: (shape >> 32) as u32,
+                    last_period_ns: u64_at(112),
+                    max_period_ns: u64_at(120),
+                }
+            } else {
+                GovernorStats::default()
             },
         })
     }
@@ -460,11 +502,48 @@ mod tests {
                 breaker_state: 1,
                 failed: true,
             },
+            governor: GovernorStats::default(),
         };
         let bytes = ledger.encode();
         assert_eq!(bytes.len(), StreamLedger::ENCODED_LEN);
         assert_eq!(StreamLedger::decode(&bytes), Some(ledger));
         assert_eq!(StreamLedger::decode(&bytes[..50]), None);
+    }
+
+    #[test]
+    fn governed_ledger_round_trips_through_the_extended_layout() {
+        let ledger = StreamLedger {
+            samples_written: 100,
+            governor: GovernorStats {
+                retunes: 5,
+                acked: 5,
+                clamps: 2,
+                oscillations: 1,
+                last_period_ns: 200_000,
+                max_period_ns: 800_000,
+            },
+            ..Default::default()
+        };
+        let bytes = ledger.encode();
+        assert_eq!(
+            bytes.len(),
+            StreamLedger::ENCODED_LEN + StreamLedger::GOVERNOR_LEN
+        );
+        assert_eq!(StreamLedger::decode(&bytes), Some(ledger));
+        // Truncating the governor section off leaves a valid v1 ledger
+        // with idle governor stats — the additive-extension contract.
+        let truncated = StreamLedger::decode(&bytes[..StreamLedger::ENCODED_LEN]).unwrap();
+        assert!(truncated.governor.is_idle());
+        assert_eq!(truncated.samples_written, 100);
+    }
+
+    #[test]
+    fn idle_governor_preserves_the_v1_ledger_bytes() {
+        let plain = StreamLedger {
+            samples_written: 9,
+            ..Default::default()
+        };
+        assert_eq!(plain.encode().len(), StreamLedger::ENCODED_LEN);
     }
 
     #[test]

@@ -13,17 +13,18 @@ fn arb_sample() -> impl Strategy<Value = Sample> {
         any::<u64>(),
         any::<u64>(),
         any::<u32>(),
-        (any::<bool>(), any::<bool>()),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
         any::<[u64; 3]>(),
         any::<[u64; 4]>(),
     )
         .prop_map(
-            |(timestamp_ns, seq, pid, (final_sample, gap), fixed, pmc)| Sample {
+            |(timestamp_ns, seq, pid, (final_sample, gap, retune), fixed, pmc)| Sample {
                 timestamp_ns,
                 seq,
                 pid,
                 final_sample,
                 gap,
+                retune,
                 fixed,
                 pmc,
             },
@@ -54,6 +55,7 @@ fn arb_monitoring_stream() -> impl Strategy<Value = Vec<Sample>> {
                         pid: 1234,
                         final_sample: i + 1 == jitter.len(),
                         gap: hole > 0,
+                        retune: j % 47 == 13, // occasional governor retunes
                         fixed: [1_000 + j, 2_670, 2_000 + j / 2],
                         pmc: [40 + j % 11, j % 3, 0, if j > 150 { j } else { 0 }],
                     }

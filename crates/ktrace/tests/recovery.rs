@@ -31,6 +31,7 @@ fn sample(i: u64) -> Sample {
         pid: 4321,
         final_sample: i == N - 1,
         gap: i % 50 == 49,
+        retune: false,
         fixed: [1_000 + i % 9, 2_670, 2_000],
         pmc: [40 + i % 11, i % 5, 0, 0],
     }

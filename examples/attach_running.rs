@@ -8,7 +8,7 @@ use ksim::{CoreId, Duration, Instant, Machine, MachineConfig};
 use pmu::HwEvent;
 use workloads::Matmul;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), kleb_repro::Error> {
     let mut machine = Machine::new(MachineConfig::i7_920(5));
 
     // A long-running service we did not start and cannot restart.

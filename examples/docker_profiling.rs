@@ -13,7 +13,7 @@ use ksim::{Duration, Machine, MachineConfig};
 use pmu::HwEvent;
 use workloads::DockerImage;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), kleb_repro::Error> {
     println!("image     MPKI   classification");
     println!("--------------------------------");
     for image in [DockerImage::Python, DockerImage::Mysql, DockerImage::Nginx] {

@@ -39,21 +39,29 @@ fn run_cell(
     )
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Bad CLI arguments are a usage problem, not a monitoring failure:
+/// print and exit rather than routing them through `kleb_repro::Error`.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+fn main() -> Result<(), kleb_repro::Error> {
     let mut seed = 7u64;
     let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => {
-                seed = args
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?;
+                seed = match args.next() {
+                    Some(v) => v
+                        .parse()
+                        .unwrap_or_else(|e| usage_error(&format!("bad --seed: {e}"))),
+                    None => usage_error("--seed needs a value"),
+                };
             }
             "--quick" => quick = true,
-            other => return Err(format!("unknown argument: {other}").into()),
+            other => usage_error(&format!("unknown argument: {other}")),
         }
     }
 

@@ -21,12 +21,13 @@ use workloads::{MeltdownAttack, SecretPrinter};
 const FLEET_SIZE: u64 = 16;
 const ATTACKER: u64 = 11;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = FleetConfig::new(
+fn main() -> Result<(), kleb_repro::Error> {
+    let config = FleetConfig::builder(
         &[HwEvent::LlcReference, HwEvent::LlcMiss],
         Duration::from_micros(100),
     )
-    .tuning(KlebTuning::microarchitectural());
+    .tuning(KlebTuning::microarchitectural())
+    .build();
 
     let specs: Vec<MachineSpec> = (0..FLEET_SIZE)
         .map(|i| {

@@ -7,7 +7,7 @@ use ksim::{Duration, Machine, MachineConfig};
 use pmu::HwEvent;
 use workloads::Matmul;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), kleb_repro::Error> {
     let events = [HwEvent::BranchRetired, HwEvent::Load, HwEvent::Store];
     let n = 512; // ~125 ms simulated runtime
     let period = Duration::from_millis(10);

@@ -7,7 +7,7 @@ use ksim::{Duration, Machine, MachineConfig};
 use pmu::HwEvent;
 use workloads::Synthetic;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), kleb_repro::Error> {
     // A simulated 4-core Intel i7-920, the paper's testbed.
     let mut machine = Machine::new(MachineConfig::i7_920(42));
 

@@ -10,7 +10,7 @@ use ksim::{Duration, Machine, MachineConfig};
 use pmu::HwEvent;
 use workloads::Synthetic;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), kleb_repro::Error> {
     let work = Duration::from_millis(150);
     // Unmonitored baseline.
     let mut machine = Machine::new(MachineConfig::i7_920(3));

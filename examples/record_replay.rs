@@ -37,7 +37,7 @@ fn spec(i: u64, seed: u64) -> MachineSpec {
     })
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), kleb_repro::Error> {
     let args: Vec<String> = std::env::args().collect();
     let scale = Scale::from_args(&args);
     println!("{}", scale.seed_line());
@@ -46,14 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = std::fs::remove_dir_all(&dir);
 
     // --- 1. Record: a chaotic live run, teed to disk ------------------
-    let config = FleetConfig::new(
+    let config = FleetConfig::builder(
         &[HwEvent::LlcReference, HwEvent::LlcMiss],
         Duration::from_micros(100),
     )
     .tuning(KlebTuning::microarchitectural())
     .machine(MachineConfig::test_tiny)
     .faults(FaultPlan::chaos(0.1))
-    .persist(&dir);
+    .persist(&dir)
+    .build();
 
     let specs: Vec<MachineSpec> = (0..FLEET_SIZE).map(|i| spec(i, scale.seed)).collect();
     println!("\nrecording a {FLEET_SIZE}-machine fleet run under FaultPlan::chaos(0.1) ...");

@@ -79,7 +79,7 @@ fn specs(base_seed: u64, blocks: u64) -> Vec<MachineSpec> {
 }
 
 fn run_fleet(scale: &Scale) -> FleetOutcome {
-    let config = FleetConfig::new(
+    let config = FleetConfig::builder(
         &[HwEvent::LlcReference, HwEvent::LlcMiss],
         Duration::from_micros(100),
     )
@@ -90,7 +90,8 @@ fn run_fleet(scale: &Scale) -> FleetOutcome {
             .backoff_base_ns(200_000)
             .backoff_cap_ns(2_000_000)
             .breaker_cooldown_ns(1_000_000),
-    );
+    )
+    .build();
     // Offset keeps the --seed-derived clean seeds clear of the sentinels.
     FleetRunner::new(config)
         .run(specs(10_000 + scale.seed * FLEET_SIZE, scale.docker_blocks))

@@ -119,13 +119,14 @@ fn chaos_run_is_byte_identical_across_replays() {
 
 #[test]
 fn fleet_survives_chaos_with_exact_accounting_and_no_stuck_workers() {
-    let config = FleetConfig::new(
+    let config = FleetConfig::builder(
         &[HwEvent::LlcReference, HwEvent::LlcMiss],
         Duration::from_micros(500),
     )
     .tuning(KlebTuning::microarchitectural())
     .machine(MachineConfig::test_tiny)
-    .faults(FaultPlan::chaos(0.1));
+    .faults(FaultPlan::chaos(0.1))
+    .build();
     let specs = (0..4)
         .map(|i| {
             MachineSpec::new(format!("m{i}"), 60 + i, |seed| {

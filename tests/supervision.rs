@@ -12,7 +12,10 @@
 //! failure sequence, which is why the digest assertions below hold
 //! without a `TickClock`.
 
-use fleet::{FailureKind, FleetConfig, FleetOutcome, FleetRunner, MachineSpec, SupervisorPolicy};
+use fleet::{
+    FailureKind, FleetConfig, FleetConfigBuilder, FleetOutcome, FleetRunner, MachineSpec,
+    SupervisorPolicy,
+};
 use kleb::KlebTuning;
 use ksim::{Duration, FaultPlan, FixedBlocks, MachineConfig, WorkBlock};
 use ktrace::TraceReplayer;
@@ -74,8 +77,8 @@ fn specs(base_seed: u64) -> Vec<MachineSpec> {
         .collect()
 }
 
-fn config() -> FleetConfig {
-    FleetConfig::new(
+fn config() -> FleetConfigBuilder {
+    FleetConfig::builder(
         &[HwEvent::LlcReference, HwEvent::LlcMiss],
         Duration::from_micros(100),
     )
@@ -85,7 +88,7 @@ fn config() -> FleetConfig {
 }
 
 fn run_recover_mix() -> FleetOutcome {
-    FleetRunner::new(config())
+    FleetRunner::new(config().build())
         .run(specs(RECOVER_SEED))
         .expect("fleet with recovering machines completes")
 }
@@ -97,7 +100,7 @@ fn run_recover_mix() -> FleetOutcome {
 #[ignore = "tuning probe, not a regression test"]
 fn probe_restart_behaviour_across_seeds() {
     for base in (0..200u64).step_by(4) {
-        let outcome = match FleetRunner::new(config()).run(specs(base)) {
+        let outcome = match FleetRunner::new(config().build()).run(specs(base)) {
             Ok(o) => o,
             Err(e) => {
                 println!("base {base}: ERR {e}");
@@ -197,7 +200,7 @@ fn budget_exhaustion_trips_the_breaker_and_yields_a_partial_outcome() {
     machine_specs[3] = MachineSpec::new("m3".to_string(), DOOMED_SEED, |_seed| {
         Box::new(FixedBlocks::new(3_000, WorkBlock::compute(1_000, 2_670))) as _
     });
-    let outcome = FleetRunner::new(config().machine(doomed_tiny))
+    let outcome = FleetRunner::new(config().machine(doomed_tiny).build())
         .run(machine_specs)
         .expect("one dead machine must not fail the fleet");
     assert_eq!(
@@ -255,17 +258,17 @@ fn budget_exhaustion_trips_the_breaker_and_yields_a_partial_outcome() {
 
 #[test]
 fn zero_intensity_fault_plans_change_nothing() {
-    let base = FleetConfig::new(
+    let base = FleetConfig::builder(
         &[HwEvent::LlcReference, HwEvent::LlcMiss],
         Duration::from_micros(100),
     )
     .tuning(KlebTuning::microarchitectural())
     .machine(MachineConfig::test_tiny)
     .supervise(fast_policy());
-    let clean = FleetRunner::new(base.clone())
+    let clean = FleetRunner::new(base.clone().build())
         .run(specs(90))
         .expect("clean fleet");
-    let zeroed = FleetRunner::new(base.faults(FaultPlan::thread_panic(0.0)))
+    let zeroed = FleetRunner::new(base.faults(FaultPlan::thread_panic(0.0)).build())
         .run(specs(90))
         .expect("zero-intensity fleet");
     assert_eq!(
@@ -291,7 +294,7 @@ fn record_replay_is_bit_exact_under_panic_restarts() {
     machine_specs[5] = MachineSpec::new("m5".to_string(), DOOMED_SEED, |_seed| {
         Box::new(FixedBlocks::new(3_000, WorkBlock::compute(1_000, 2_670))) as _
     });
-    let recording = FleetConfig::new(
+    let recording = FleetConfig::builder(
         &[HwEvent::LlcReference, HwEvent::LlcMiss],
         Duration::from_micros(100),
     )
@@ -304,7 +307,8 @@ fn record_replay_is_bit_exact_under_panic_restarts() {
         c
     })
     .supervise(fast_policy())
-    .persist(&dir);
+    .persist(&dir)
+    .build();
     let live = FleetRunner::new(recording.clone())
         .run(machine_specs)
         .expect("recorded fleet completes");
